@@ -1,0 +1,231 @@
+//! Dense core: the weight-stationary systolic array that processes the
+//! direct-coded input layer.
+//!
+//! The dense core (paper Fig. 2) has a fixed column of 27 processing elements
+//! (3 input channels × 3×3 filter taps) and a configurable number of PE
+//! *rows*; each row works on one output feature map at a time and the rows
+//! tile across the output channels. Partial sums flow horizontally, image
+//! pixels flow vertically, and one output membrane potential per row is
+//! produced per cycle once the pipeline is full. The Activ unit then adds the
+//! bias, applies the LIF leak/threshold and writes the spike train to BRAM.
+//!
+//! [`DenseCore::run`] is the functional model (bit-true against
+//! `Conv2d::forward` + the LIF population) and [`DenseCore::timing`] the
+//! cycle model used by the accelerator's performance estimates.
+
+use serde::{Deserialize, Serialize};
+use snn_core::error::SnnError;
+use snn_core::layers::Conv2d;
+use snn_core::neuron::{lif_update, LifParams};
+use snn_core::spike::{SpikeTrain, SpikeVolume};
+use snn_core::tensor::Tensor;
+
+/// Cycle counts of one dense-core layer execution (all timesteps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenseTiming {
+    /// Cycles spent streaming pixels through the PE array.
+    pub compute_cycles: u64,
+    /// Cycles spent filling the systolic pipeline (once per output-channel
+    /// tile and timestep).
+    pub pipeline_fill_cycles: u64,
+    /// Total cycles.
+    pub total_cycles: u64,
+}
+
+/// The dense core configuration: number of PE rows.
+///
+/// # Example
+///
+/// ```
+/// use snn_accel::dense_core::DenseCore;
+///
+/// let core = DenseCore::new(4);
+/// assert_eq!(core.rows(), 4);
+/// assert_eq!(core.pes(), 27 * 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenseCore {
+    rows: usize,
+}
+
+impl DenseCore {
+    /// Creates a dense core with `rows` PE rows (each of 27 PEs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0`.
+    pub fn new(rows: usize) -> Self {
+        assert!(rows > 0, "dense core needs at least one PE row");
+        DenseCore { rows }
+    }
+
+    /// Number of PE rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of processing elements (27 per row).
+    pub fn pes(&self) -> usize {
+        27 * self.rows
+    }
+
+    /// Functionally executes the input convolution layer over all encoded
+    /// frames, producing the output spike volume exactly as the hardware
+    /// would (conv → bias → LIF with soft reset), together with the cycle
+    /// count of the systolic schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the convolution.
+    pub fn run(
+        &self,
+        conv: &Conv2d,
+        lif: LifParams,
+        frames: &[Tensor],
+    ) -> Result<(SpikeVolume, DenseTiming), SnnError> {
+        if frames.is_empty() {
+            return Err(SnnError::config("frames", "at least one input frame is required"));
+        }
+        let out_shape = conv.output_shape(frames[0].shape())?;
+        let (out_c, out_h, out_w) = (out_shape[0], out_shape[1], out_shape[2]);
+        let mut volume = SpikeVolume::new(frames.len(), out_c, out_h, out_w);
+        // Persistent LIF state across timesteps, exactly like the Activ unit's
+        // membrane registers.
+        let mut membrane = vec![0.0_f32; out_c * out_h * out_w];
+        let mut fired = vec![false; out_c * out_h * out_w];
+        for (t, frame) in frames.iter().enumerate() {
+            // The systolic array computes the same dot products as the im2col
+            // convolution; the schedule (row tiling over output channels) only
+            // affects the cycle count, not the arithmetic result.
+            let currents = conv.forward(frame)?;
+            let data = currents.as_slice();
+            for c in 0..out_c {
+                let mut train = SpikeTrain::new(out_h * out_w);
+                for p in 0..out_h * out_w {
+                    let idx = c * out_h * out_w + p;
+                    let (u, spike) = lif_update(lif, membrane[idx], data[idx], fired[idx]);
+                    membrane[idx] = u;
+                    fired[idx] = spike;
+                    if spike {
+                        train.set(p, true);
+                    }
+                }
+                volume.set_train(t, c, train)?;
+            }
+        }
+        let timing = self.timing(out_c, out_h, out_w, frames.len());
+        Ok((volume, timing))
+    }
+
+    /// Cycle count of the systolic schedule for a layer with `out_channels`
+    /// output feature maps of `out_h × out_w` pixels over `timesteps` frames.
+    ///
+    /// Each group of `rows` output channels is processed in one pass over the
+    /// image (one output pixel per row per cycle); every pass pays the
+    /// pipeline fill latency of the 27-deep PE column plus the staggering
+    /// registers.
+    pub fn timing(
+        &self,
+        out_channels: usize,
+        out_h: usize,
+        out_w: usize,
+        timesteps: usize,
+    ) -> DenseTiming {
+        let tiles = out_channels.div_ceil(self.rows) as u64;
+        let pixels = (out_h * out_w) as u64;
+        let fill_per_tile = 27 + self.rows as u64;
+        let compute = tiles * pixels * timesteps as u64;
+        let fill = tiles * fill_per_tile * timesteps as u64;
+        DenseTiming {
+            compute_cycles: compute,
+            pipeline_fill_cycles: fill,
+            total_cycles: compute + fill,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_core::encoding::Encoder;
+    use snn_core::neuron::LifPopulation;
+
+    fn sample_conv() -> Conv2d {
+        let mut rng = StdRng::seed_from_u64(42);
+        Conv2d::with_kaiming_init(3, 8, 3, 1, 1, &mut rng).unwrap()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE row")]
+    fn zero_rows_panics() {
+        DenseCore::new(0);
+    }
+
+    #[test]
+    fn pes_are_27_per_row() {
+        assert_eq!(DenseCore::new(1).pes(), 27);
+        assert_eq!(DenseCore::new(3).pes(), 81);
+    }
+
+    #[test]
+    fn functional_output_matches_reference_lif() {
+        // The dense core must be bit-true against Conv2d::forward followed by
+        // the reference LIF population.
+        let conv = sample_conv();
+        let lif = LifParams::paper_default();
+        let image = Tensor::from_fn(&[3, 8, 8], |i| ((i as f32) * 0.037).sin().abs());
+        let frames = Encoder::direct(3).encode(&image, 0).unwrap();
+
+        let core = DenseCore::new(2);
+        let (volume, _) = core.run(&conv, lif, &frames).unwrap();
+
+        let mut reference = LifPopulation::new(8 * 8 * 8, lif);
+        for (t, frame) in frames.iter().enumerate() {
+            let current = conv.forward(frame).unwrap();
+            let spikes = reference.step_tensor(&current).unwrap();
+            for c in 0..8 {
+                for p in 0..64 {
+                    let expected = spikes.as_slice()[c * 64 + p] > 0.0;
+                    assert_eq!(
+                        volume.train(t, c).get(p),
+                        expected,
+                        "mismatch at t={t} c={c} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_rejects_empty_frames() {
+        let core = DenseCore::new(1);
+        assert!(core.run(&sample_conv(), LifParams::default(), &[]).is_err());
+    }
+
+    #[test]
+    fn timing_scales_inversely_with_rows() {
+        let one = DenseCore::new(1).timing(64, 32, 32, 2);
+        let four = DenseCore::new(4).timing(64, 32, 32, 2);
+        assert!(four.total_cycles < one.total_cycles);
+        // 64 channels / 1 row = 64 tiles of 1024 pixels × 2 timesteps.
+        assert_eq!(one.compute_cycles, 64 * 1024 * 2);
+        assert_eq!(four.compute_cycles, 16 * 1024 * 2);
+    }
+
+    #[test]
+    fn timing_includes_pipeline_fill_per_tile() {
+        let t = DenseCore::new(2).timing(4, 4, 4, 1);
+        // 2 tiles × (27 + 2) fill cycles.
+        assert_eq!(t.pipeline_fill_cycles, 2 * 29);
+        assert_eq!(t.total_cycles, t.compute_cycles + t.pipeline_fill_cycles);
+    }
+
+    #[test]
+    fn timing_scales_linearly_with_timesteps() {
+        let a = DenseCore::new(2).timing(16, 16, 16, 1);
+        let b = DenseCore::new(2).timing(16, 16, 16, 4);
+        assert_eq!(b.total_cycles, 4 * a.total_cycles);
+    }
+}

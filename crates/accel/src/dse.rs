@@ -1,0 +1,218 @@
+//! Design-space exploration: neural-core allocation.
+//!
+//! The paper derives its lightweight (`LW`) configurations by partitioning
+//! the available resources so that the execution latency difference between
+//! the most and the least workload-intensive layers is minimised (Sec. V-A).
+//! [`allocate_balanced`] implements that policy as a greedy water-filling
+//! allocation over the Eq. 3 workloads: starting from one core per layer,
+//! each additional core goes to the layer with the currently largest
+//! per-layer latency, until the core budget is exhausted.
+
+use crate::workload::{imbalance, CycleWorkload};
+use serde::{Deserialize, Serialize};
+use snn_core::error::SnnError;
+
+/// Result of a design-space exploration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Cores per sparse weight layer, aligned with the workload order.
+    pub cores: Vec<usize>,
+    /// Resulting per-layer accumulation cycles.
+    pub per_layer_cycles: Vec<u64>,
+    /// Max/mean latency imbalance of the result.
+    pub imbalance: f64,
+}
+
+impl Allocation {
+    /// Total number of neural cores used.
+    pub fn total_cores(&self) -> usize {
+        self.cores.iter().sum()
+    }
+
+    /// The bottleneck (maximum) per-layer cycle count, which bounds the
+    /// pipeline throughput.
+    pub fn bottleneck_cycles(&self) -> u64 {
+        self.per_layer_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-layer share of the total latency in percent (the paper quotes
+    /// these "layer overheads" for its CIFAR-100 perf2 allocation).
+    pub fn layer_overheads_percent(&self) -> Vec<f64> {
+        let total: u64 = self.per_layer_cycles.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.per_layer_cycles.len()];
+        }
+        self.per_layer_cycles
+            .iter()
+            .map(|&c| c as f64 / total as f64 * 100.0)
+            .collect()
+    }
+}
+
+/// Greedily allocates `budget` neural cores across the sparse layers so the
+/// per-layer latencies are as balanced as possible.
+///
+/// # Errors
+///
+/// Returns [`SnnError::InvalidConfig`] if the budget is smaller than the
+/// number of layers (every layer needs at least one core) or the workload
+/// list is empty.
+pub fn allocate_balanced(
+    workloads: &[CycleWorkload],
+    budget: usize,
+) -> Result<Allocation, SnnError> {
+    if workloads.is_empty() {
+        return Err(SnnError::config("workloads", "no layers to allocate cores to"));
+    }
+    if budget < workloads.len() {
+        return Err(SnnError::config(
+            "budget",
+            format!(
+                "budget {budget} is smaller than the number of layers {}",
+                workloads.len()
+            ),
+        ));
+    }
+    let mut cores = vec![1usize; workloads.len()];
+    let mut remaining = budget - workloads.len();
+    while remaining > 0 {
+        // Give the next core to the layer with the largest current latency,
+        // but only if an extra core actually helps (it cannot exceed the
+        // layer's output channel count).
+        let mut best: Option<(usize, u64)> = None;
+        for (i, w) in workloads.iter().enumerate() {
+            if cores[i] >= w.out_channels.max(1) {
+                continue;
+            }
+            let current = w.cycles_with_cores(cores[i]);
+            match best {
+                Some((_, c)) if c >= current => {}
+                _ => best = Some((i, current)),
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                cores[i] += 1;
+                remaining -= 1;
+            }
+            None => break,
+        }
+    }
+    let per_layer_cycles: Vec<u64> = workloads
+        .iter()
+        .zip(cores.iter())
+        .map(|(w, &c)| w.cycles_with_cores(c))
+        .collect();
+    Ok(Allocation {
+        imbalance: imbalance(&per_layer_cycles),
+        cores,
+        per_layer_cycles,
+    })
+}
+
+/// Searches for the smallest core budget whose balanced allocation brings the
+/// latency imbalance below `target_imbalance` (or stops at `max_budget`).
+/// This reproduces how the paper finds its lightweight configurations.
+///
+/// # Errors
+///
+/// Propagates errors from [`allocate_balanced`].
+pub fn lightweight_allocation(
+    workloads: &[CycleWorkload],
+    target_imbalance: f64,
+    max_budget: usize,
+) -> Result<Allocation, SnnError> {
+    let mut budget = workloads.len();
+    loop {
+        let alloc = allocate_balanced(workloads, budget)?;
+        if alloc.imbalance <= target_imbalance || budget >= max_budget {
+            return Ok(alloc);
+        }
+        budget += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::from_traces;
+    use snn_core::encoding::Encoder;
+    use snn_core::network::{vgg9, Vgg9Config};
+    use snn_core::tensor::Tensor;
+
+    fn workloads() -> Vec<CycleWorkload> {
+        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.07).cos().abs());
+        let traces = net.run(&image, &Encoder::direct(2)).unwrap().traces;
+        from_traces(&traces).unwrap()
+    }
+
+    #[test]
+    fn allocation_uses_exactly_the_budget_when_useful() {
+        let w = workloads();
+        let alloc = allocate_balanced(&w, 40).unwrap();
+        assert!(alloc.total_cores() <= 40);
+        assert!(alloc.total_cores() >= w.len());
+        assert_eq!(alloc.cores.len(), w.len());
+        assert!(alloc.cores.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn allocation_rejects_insufficient_budget() {
+        let w = workloads();
+        assert!(allocate_balanced(&w, w.len() - 1).is_err());
+        assert!(allocate_balanced(&[], 10).is_err());
+    }
+
+    #[test]
+    fn more_budget_never_hurts_the_bottleneck() {
+        let w = workloads();
+        let small = allocate_balanced(&w, 12).unwrap();
+        let large = allocate_balanced(&w, 60).unwrap();
+        assert!(large.bottleneck_cycles() <= small.bottleneck_cycles());
+    }
+
+    #[test]
+    fn heavier_layers_receive_more_cores() {
+        let w = workloads();
+        let alloc = allocate_balanced(&w, 50).unwrap();
+        // The busiest layer (largest single-core cycles) must get at least as
+        // many cores as the least busy one.
+        let busiest = w
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, l)| l.single_core_cycles)
+            .unwrap()
+            .0;
+        let laziest = w
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.single_core_cycles)
+            .unwrap()
+            .0;
+        assert!(alloc.cores[busiest] >= alloc.cores[laziest]);
+    }
+
+    #[test]
+    fn balancing_reduces_imbalance() {
+        let w = workloads();
+        let uniform = allocate_balanced(&w, w.len()).unwrap();
+        let balanced = allocate_balanced(&w, 64).unwrap();
+        assert!(balanced.imbalance <= uniform.imbalance);
+    }
+
+    #[test]
+    fn lightweight_allocation_reaches_target_or_budget() {
+        let w = workloads();
+        let alloc = lightweight_allocation(&w, 1.6, 128).unwrap();
+        assert!(alloc.imbalance <= 1.6 || alloc.total_cores() >= 128);
+    }
+
+    #[test]
+    fn layer_overheads_sum_to_100_percent() {
+        let w = workloads();
+        let alloc = allocate_balanced(&w, 32).unwrap();
+        let sum: f64 = alloc.layer_overheads_percent().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,185 @@
+//! Static and dynamic power model.
+//!
+//! The paper reports instance-level dynamic power per layer (Table I) and a
+//! device static power of 3.13 W (int4) / 3.22 W (fp32). This module models
+//! those numbers with an activity-based estimate:
+//!
+//! ```text
+//! P_dyn(layer) = a_lut · LUT + a_ff · FF + a_bram · BRAM_active + a_uram · URAM_active
+//! ```
+//!
+//! where the *active* memory block count is halved when the clock-gated
+//! two-region memory organisation of Sec. IV-C is enabled. The coefficients
+//! in [`calib`] are fitted to the int4 rows of Table I (e.g. CONV3_2: 5.7 K
+//! LUT, 5.2 K FF, 216 BRAM → 0.293 W) and reproduce every int4 row within a
+//! small factor, which is sufficient to preserve the paper's ratios
+//! (fp32 ≈ 2.8 × int4 dynamic power).
+
+use crate::resources::{LayerResources, ResourceEstimate};
+use serde::{Deserialize, Serialize};
+use snn_core::quant::Precision;
+
+/// Calibration constants of the power model, fitted to Table I.
+pub mod calib {
+    /// Dynamic power per logic LUT at 100 MHz, in watts.
+    /// Fitted so CONV1_2 int4 (11.7 K LUT) contributes ≈ 0.12 W of LUT power.
+    pub const WATT_PER_LUT: f64 = 10e-6;
+    /// Dynamic power per LUT used as distributed weight RAM. Weight LUTRAM
+    /// toggles only when its word is read, so its activity is far below a
+    /// logic LUT's — this keeps the fp32 CONV1_2 power near the published
+    /// 0.25 W despite its very large LUTRAM footprint.
+    pub const WATT_PER_LUTRAM_LUT: f64 = 1.0e-6;
+    /// Dynamic power per flip-flop at 100 MHz, in watts.
+    pub const WATT_PER_FF: f64 = 5e-6;
+    /// Dynamic power per *active* BRAM36 block at 100 MHz, in watts.
+    /// Fitted so CONV3_2 int4 (216 BRAM, gated to ~108 active) contributes
+    /// ≈ 0.16 W.
+    pub const WATT_PER_BRAM: f64 = 1.5e-3;
+    /// Dynamic power per *active* URAM block at 100 MHz, in watts.
+    pub const WATT_PER_URAM: f64 = 2.2e-3;
+    /// Device static power for the quantized design (paper Table I footnote).
+    pub const STATIC_WATT_INT: f64 = 3.13;
+    /// Device static power for the fp32 design (paper Table I footnote).
+    pub const STATIC_WATT_FP32: f64 = 3.22;
+}
+
+/// Per-layer dynamic power estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPower {
+    /// Layer name.
+    pub name: String,
+    /// Instance-level dynamic power in watts.
+    pub dynamic_watts: f64,
+}
+
+/// Whole-accelerator power estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Per-layer dynamic power, in network order.
+    pub layers: Vec<LayerPower>,
+    /// Device static power in watts.
+    pub static_watts: f64,
+}
+
+impl PowerEstimate {
+    /// Total dynamic power (all layers busy), in watts.
+    pub fn total_dynamic_watts(&self) -> f64 {
+        self.layers.iter().map(|l| l.dynamic_watts).sum()
+    }
+
+    /// Total power (dynamic + static), in watts.
+    pub fn total_watts(&self) -> f64 {
+        self.total_dynamic_watts() + self.static_watts
+    }
+}
+
+/// Dynamic power of a single layer given its resources.
+///
+/// `clock_gating` halves the active BRAM/URAM count, modelling the MSB-split
+/// two-region organisation where only one region receives clock edges.
+pub fn layer_dynamic_power(resources: &LayerResources, clock_gating: bool) -> f64 {
+    let gate = if clock_gating { 0.5 } else { 1.0 };
+    let logic_luts = resources.luts.saturating_sub(resources.lutram_luts);
+    calib::WATT_PER_LUT * logic_luts as f64
+        + calib::WATT_PER_LUTRAM_LUT * resources.lutram_luts as f64
+        + calib::WATT_PER_FF * resources.ffs as f64
+        + calib::WATT_PER_BRAM * resources.bram as f64 * gate
+        + calib::WATT_PER_URAM * resources.uram as f64 * gate
+}
+
+/// Static power of the device for a given weight precision.
+pub fn static_power(precision: Precision) -> f64 {
+    if precision.is_quantized() {
+        calib::STATIC_WATT_INT
+    } else {
+        calib::STATIC_WATT_FP32
+    }
+}
+
+/// Estimates per-layer and total power for a resource estimate.
+pub fn estimate(
+    resources: &ResourceEstimate,
+    precision: Precision,
+    clock_gating: bool,
+) -> PowerEstimate {
+    PowerEstimate {
+        layers: resources
+            .layers
+            .iter()
+            .map(|l| LayerPower {
+                name: l.name.clone(),
+                dynamic_watts: layer_dynamic_power(l, clock_gating),
+            })
+            .collect(),
+        static_watts: static_power(precision),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HwConfig, PerfScale};
+    use crate::resources::estimate_layers;
+    use snn_core::network::{vgg9, Vgg9Config};
+
+    fn table1_power(precision: Precision) -> PowerEstimate {
+        let geo = vgg9(&Vgg9Config::cifar100()).unwrap().geometry().unwrap();
+        let cfg = HwConfig::paper("cifar100", precision, PerfScale::Perf2).unwrap();
+        let res = estimate_layers(&geo, &cfg, 2).unwrap();
+        estimate(&res, precision, cfg.clock_gating)
+    }
+
+    #[test]
+    fn static_power_matches_table1_footnote() {
+        assert_eq!(static_power(Precision::Int4), 3.13);
+        assert_eq!(static_power(Precision::Int8), 3.13);
+        assert_eq!(static_power(Precision::Fp32), 3.22);
+    }
+
+    #[test]
+    fn int4_dynamic_total_lands_near_table1() {
+        let p = table1_power(Precision::Int4);
+        let total = p.total_dynamic_watts();
+        // Table I: 1.231 W total dynamic for the int4 CIFAR-100 perf2 design.
+        assert!(
+            (0.4..=4.0).contains(&total),
+            "int4 dynamic power {total:.3} W out of the expected band"
+        );
+    }
+
+    #[test]
+    fn fp32_needs_more_dynamic_power_than_int4() {
+        let int4 = table1_power(Precision::Int4).total_dynamic_watts();
+        let fp32 = table1_power(Precision::Fp32).total_dynamic_watts();
+        let ratio = fp32 / int4;
+        // Table I reports 2.82×; accept anything comfortably above 1.5×.
+        assert!(ratio > 1.5, "fp32/int4 dynamic power ratio {ratio:.2} too small");
+    }
+
+    #[test]
+    fn clock_gating_reduces_memory_power() {
+        let geo = vgg9(&Vgg9Config::cifar100()).unwrap().geometry().unwrap();
+        let cfg = HwConfig::paper("cifar100", Precision::Int4, PerfScale::Perf2).unwrap();
+        let res = estimate_layers(&geo, &cfg, 2).unwrap();
+        let gated = estimate(&res, Precision::Int4, true).total_dynamic_watts();
+        let ungated = estimate(&res, Precision::Int4, false).total_dynamic_watts();
+        assert!(gated < ungated);
+    }
+
+    #[test]
+    fn per_layer_power_is_positive_and_total_is_sum() {
+        let p = table1_power(Precision::Int4);
+        assert!(p.layers.iter().all(|l| l.dynamic_watts > 0.0));
+        let sum: f64 = p.layers.iter().map(|l| l.dynamic_watts).sum();
+        assert!((p.total_dynamic_watts() - sum).abs() < 1e-12);
+        assert!(p.total_watts() > p.total_dynamic_watts());
+    }
+
+    #[test]
+    fn memory_heavy_layers_dominate_power() {
+        // CONV3_2 (index 5) has far more BRAM than CONV2_1 (index 2) in the
+        // paper's Table I and should therefore burn more dynamic power.
+        let p = table1_power(Precision::Int4);
+        assert!(p.layers[5].dynamic_watts > p.layers[2].dynamic_watts);
+    }
+}

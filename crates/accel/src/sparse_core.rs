@@ -1,0 +1,472 @@
+//! Sparse core: the event-driven engine that processes every spiking layer.
+//!
+//! A sparse core (paper Fig. 3) consists of an Event Control Unit (ECU) and
+//! `N` neural cores (NCs):
+//!
+//! 1. the ECU's **Compression routine** fetches a spike train from the input
+//!    spike RAM, tiles it into `n`-bit chunks and uses a priority encoder to
+//!    emit the addresses of set bits into the `SpikeEvents` register array,
+//!    resetting each found bit so the next one can be located;
+//! 2. the **Address Generation routine** expands every spike event into the
+//!    (row, col) addresses of the `k × k` neurons it influences;
+//! 3. each **NC**'s Accum routine reads the membrane potential from BRAM,
+//!    adds the filter coefficient and writes it back — one neuron per cycle —
+//!    with the output channels unrolled by `N` (NC `i` handles channels
+//!    `i, i+N, i+2N, …`);
+//! 4. once every input feature map has been consumed, the NC's Activ routine
+//!    runs the LIF spiking phase and writes the output spike train to BRAM.
+//!
+//! [`SparseCore::run_conv`] / [`SparseCore::run_linear`] are functional models
+//! (bit-true against the `snn-core` layers + LIF); [`SparseCore::conv_timing`]
+//! and [`SparseCore::linear_timing`] are the analytic cycle models driven by
+//! spike counts, used by the accelerator-level performance estimates.
+
+use serde::{Deserialize, Serialize};
+use snn_core::error::SnnError;
+use snn_core::layers::{Conv2d, Linear};
+use snn_core::network::LayerGeometry;
+use snn_core::neuron::{lif_update, LifParams};
+use snn_core::spike::{SpikeTrain, SpikeVolume};
+
+/// Cycle counts of one sparse-core layer execution (all timesteps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseTiming {
+    /// Cycles the Compression routine needs to scan the input spike trains.
+    pub compression_cycles: u64,
+    /// Cycles the NC accumulation phase needs (the Eq. 3 workload divided by
+    /// the NC unroll factor).
+    pub accumulation_cycles: u64,
+    /// Cycles of the LIF activation phase (output neurons per NC).
+    pub activation_cycles: u64,
+    /// Total cycles. Compression overlaps with accumulation, so the total is
+    /// `max(compression, accumulation) + activation` per timestep.
+    pub total_cycles: u64,
+}
+
+impl SparseTiming {
+    fn add(&mut self, other: SparseTiming) {
+        self.compression_cycles += other.compression_cycles;
+        self.accumulation_cycles += other.accumulation_cycles;
+        self.activation_cycles += other.activation_cycles;
+        self.total_cycles += other.total_cycles;
+    }
+}
+
+/// One sparse core instance: its NC unroll factor and compression chunk width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseCore {
+    neural_cores: usize,
+    chunk_bits: usize,
+}
+
+impl SparseCore {
+    /// Creates a sparse core with `neural_cores` NCs and an ECU that scans
+    /// `chunk_bits` bits of spike train per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(neural_cores: usize, chunk_bits: usize) -> Self {
+        assert!(neural_cores > 0, "sparse core needs at least one neural core");
+        assert!(chunk_bits > 0, "compression chunk width must be positive");
+        SparseCore {
+            neural_cores,
+            chunk_bits,
+        }
+    }
+
+    /// Number of neural cores (output-channel unroll factor `N`).
+    pub fn neural_cores(&self) -> usize {
+        self.neural_cores
+    }
+
+    /// Compression chunk width in bits.
+    pub fn chunk_bits(&self) -> usize {
+        self.chunk_bits
+    }
+
+    /// Functionally executes an event-driven spiking convolution.
+    ///
+    /// `input` holds the binary input feature maps for every timestep
+    /// (channels × H × W, timestep-major); the result is the output spike
+    /// volume plus the cycle counts of the schedule. Only stride-1
+    /// convolutions are supported — the paper's networks use stride 1
+    /// everywhere, with down-sampling done by spike max-pooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] for unsupported strides and shape
+    /// errors if the input volume does not match the convolution.
+    pub fn run_conv(
+        &self,
+        conv: &Conv2d,
+        lif: LifParams,
+        input: &SpikeVolume,
+    ) -> Result<(SpikeVolume, SparseTiming), SnnError> {
+        if conv.stride() != 1 {
+            return Err(SnnError::config(
+                "stride",
+                "the event-driven sparse core supports stride-1 convolutions only",
+            ));
+        }
+        if input.channels() != conv.in_channels() {
+            return Err(SnnError::shape(
+                &[conv.in_channels()],
+                &[input.channels()],
+                "SparseCore::run_conv input channels",
+            ));
+        }
+        let (in_h, in_w) = (input.height(), input.width());
+        let out_shape = conv.output_shape(&[conv.in_channels(), in_h, in_w])?;
+        let (out_c, out_h, out_w) = (out_shape[0], out_shape[1], out_shape[2]);
+        let k = conv.kernel();
+        let pad = conv.padding() as isize;
+        let timesteps = input.timesteps();
+
+        let mut volume = SpikeVolume::new(timesteps, out_c, out_h, out_w);
+        let mut membrane = vec![0.0_f32; out_c * out_h * out_w];
+        let mut fired = vec![false; out_c * out_h * out_w];
+        let weight = conv.weight().as_slice();
+        let bias = conv.bias().as_slice();
+        let mut timing = SparseTiming::default();
+
+        for t in 0..timesteps {
+            // Accumulation phase: every spike event updates the k×k
+            // neighbourhood of every output feature map.
+            let mut accumulator = vec![0.0_f32; out_c * out_h * out_w];
+            let mut events: u64 = 0;
+            for cin in 0..conv.in_channels() {
+                let train = input.train(t, cin);
+                for idx in train.iter_ones() {
+                    events += 1;
+                    let y = (idx / in_w) as isize;
+                    let x = (idx % in_w) as isize;
+                    for ky in 0..k {
+                        let oy = y + pad - ky as isize;
+                        if oy < 0 || oy >= out_h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ox = x + pad - kx as isize;
+                            if ox < 0 || ox >= out_w as isize {
+                                continue;
+                            }
+                            for oc in 0..out_c {
+                                let w = weight[((oc * conv.in_channels() + cin) * k + ky) * k + kx];
+                                accumulator[(oc * out_h + oy as usize) * out_w + ox as usize] += w;
+                            }
+                        }
+                    }
+                }
+            }
+            // Activation phase: LIF update with the accumulated current + bias.
+            for oc in 0..out_c {
+                let mut train = SpikeTrain::new(out_h * out_w);
+                for p in 0..out_h * out_w {
+                    let idx = oc * out_h * out_w + p;
+                    let current = accumulator[idx] + bias[oc];
+                    let (u, spike) = lif_update(lif, membrane[idx], current, fired[idx]);
+                    membrane[idx] = u;
+                    fired[idx] = spike;
+                    if spike {
+                        train.set(p, true);
+                    }
+                }
+                volume.set_train(t, oc, train)?;
+            }
+            timing.add(self.conv_step_timing(
+                events,
+                conv.in_channels() * in_h * in_w,
+                k,
+                out_c,
+                out_h * out_w,
+            ));
+        }
+        Ok((volume, timing))
+    }
+
+    /// Functionally executes an event-driven fully-connected layer.
+    ///
+    /// `input` holds one spike train per timestep (length = `in_features`).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if a spike train length differs from the layer's
+    /// input features.
+    pub fn run_linear(
+        &self,
+        linear: &Linear,
+        lif: LifParams,
+        input: &[SpikeTrain],
+    ) -> Result<(Vec<SpikeTrain>, SparseTiming), SnnError> {
+        let n_in = linear.in_features();
+        let n_out = linear.out_features();
+        let weight = linear.weight().as_slice();
+        let bias = linear.bias().as_slice();
+        let mut membrane = vec![0.0_f32; n_out];
+        let mut fired = vec![false; n_out];
+        let mut outputs = Vec::with_capacity(input.len());
+        let mut timing = SparseTiming::default();
+        for train in input {
+            if train.len() != n_in {
+                return Err(SnnError::shape(
+                    &[n_in],
+                    &[train.len()],
+                    "SparseCore::run_linear input train",
+                ));
+            }
+            let mut accumulator = vec![0.0_f32; n_out];
+            let mut events = 0u64;
+            for idx in train.iter_ones() {
+                events += 1;
+                for (o, acc) in accumulator.iter_mut().enumerate() {
+                    *acc += weight[o * n_in + idx];
+                }
+            }
+            let mut out_train = SpikeTrain::new(n_out);
+            for o in 0..n_out {
+                let (u, spike) = lif_update(lif, membrane[o], accumulator[o] + bias[o], fired[o]);
+                membrane[o] = u;
+                fired[o] = spike;
+                if spike {
+                    out_train.set(o, true);
+                }
+            }
+            outputs.push(out_train);
+            timing.add(self.linear_step_timing(events, n_in, n_out));
+        }
+        Ok((outputs, timing))
+    }
+
+    /// Analytic cycle count for a convolution layer given the per-timestep
+    /// input spike counts and the layer geometry.
+    pub fn conv_timing(&self, events_per_step: &[u64], geo: &LayerGeometry) -> SparseTiming {
+        let mut total = SparseTiming::default();
+        let input_bits = geo.in_channels * geo.in_height * geo.in_width;
+        for &events in events_per_step {
+            total.add(self.conv_step_timing(
+                events,
+                input_bits,
+                geo.kernel,
+                geo.out_channels,
+                geo.out_height * geo.out_width,
+            ));
+        }
+        total
+    }
+
+    /// Analytic cycle count for a fully-connected layer given the per-timestep
+    /// input spike counts and the layer geometry.
+    pub fn linear_timing(&self, events_per_step: &[u64], geo: &LayerGeometry) -> SparseTiming {
+        let mut total = SparseTiming::default();
+        for &events in events_per_step {
+            total.add(self.linear_step_timing(events, geo.in_channels, geo.out_channels));
+        }
+        total
+    }
+
+    fn conv_step_timing(
+        &self,
+        events: u64,
+        input_bits: usize,
+        kernel: usize,
+        out_channels: usize,
+        out_plane: usize,
+    ) -> SparseTiming {
+        let channels_per_nc = out_channels.div_ceil(self.neural_cores) as u64;
+        let compression = (input_bits as u64).div_ceil(self.chunk_bits as u64) + events;
+        let accumulation = events * (kernel * kernel) as u64 * channels_per_nc;
+        let activation = channels_per_nc * out_plane as u64;
+        SparseTiming {
+            compression_cycles: compression,
+            accumulation_cycles: accumulation,
+            activation_cycles: activation,
+            total_cycles: compression.max(accumulation) + activation,
+        }
+    }
+
+    fn linear_step_timing(&self, events: u64, in_features: usize, out_features: usize) -> SparseTiming {
+        let outputs_per_nc = out_features.div_ceil(self.neural_cores) as u64;
+        let compression = (in_features as u64).div_ceil(self.chunk_bits as u64) + events;
+        let accumulation = events * outputs_per_nc;
+        let activation = outputs_per_nc;
+        SparseTiming {
+            compression_cycles: compression,
+            accumulation_cycles: accumulation,
+            activation_cycles: activation,
+            total_cycles: compression.max(accumulation) + activation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_core::neuron::LifPopulation;
+    use snn_core::tensor::Tensor;
+
+    fn random_spike_volume(timesteps: usize, c: usize, h: usize, w: usize, density: f64) -> SpikeVolume {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut vol = SpikeVolume::new(timesteps, c, h, w);
+        for t in 0..timesteps {
+            for ci in 0..c {
+                for p in 0..h * w {
+                    if rng.gen_bool(density) {
+                        vol.train_mut(t, ci).set(p, true);
+                    }
+                }
+            }
+        }
+        vol
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one neural core")]
+    fn zero_ncs_panic() {
+        SparseCore::new(0, 32);
+    }
+
+    #[test]
+    fn event_driven_conv_matches_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::with_kaiming_init(2, 4, 3, 1, 1, &mut rng).unwrap();
+        let lif = LifParams::paper_default();
+        let input = random_spike_volume(3, 2, 6, 6, 0.3);
+        let core = SparseCore::new(2, 32);
+        let (out, timing) = core.run_conv(&conv, lif, &input).unwrap();
+        assert!(timing.total_cycles > 0);
+
+        // Reference: dense conv + LIF population, fed with the same binary frames.
+        let mut reference = LifPopulation::new(4 * 6 * 6, lif);
+        for t in 0..3 {
+            let mut frame = Tensor::zeros(&[2, 6, 6]);
+            for c in 0..2 {
+                for p in input.train(t, c).iter_ones() {
+                    frame.as_mut_slice()[c * 36 + p] = 1.0;
+                }
+            }
+            let current = conv.forward(&frame).unwrap();
+            let spikes = reference.step_tensor(&current).unwrap();
+            for c in 0..4 {
+                for p in 0..36 {
+                    assert_eq!(
+                        out.train(t, c).get(p),
+                        spikes.as_slice()[c * 36 + p] > 0.0,
+                        "mismatch at t={t} c={c} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_driven_linear_matches_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let fc = Linear::with_kaiming_init(12, 6, &mut rng).unwrap();
+        let lif = LifParams::new(0.5, 0.3).unwrap();
+        let trains: Vec<SpikeTrain> = (0..4)
+            .map(|t| {
+                SpikeTrain::from_bools(
+                    &(0..12).map(|i| (i + t) % 3 == 0).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let core = SparseCore::new(3, 16);
+        let (out, _) = core.run_linear(&fc, lif, &trains).unwrap();
+
+        let mut reference = LifPopulation::new(6, lif);
+        for (t, train) in trains.iter().enumerate() {
+            let frame = Tensor::from_vec(train.to_activations(), &[12]).unwrap();
+            let current = fc.forward(&frame).unwrap();
+            let spikes = reference.step_tensor(&current).unwrap();
+            assert_eq!(out[t].to_activations(), spikes.as_slice());
+        }
+    }
+
+    #[test]
+    fn run_conv_validates_inputs() {
+        let conv = Conv2d::new(2, 4, 3, 2, 1).unwrap();
+        let core = SparseCore::new(1, 32);
+        let input = SpikeVolume::new(1, 2, 6, 6);
+        assert!(core.run_conv(&conv, LifParams::default(), &input).is_err());
+        let conv1 = Conv2d::new(3, 4, 3, 1, 1).unwrap();
+        assert!(core.run_conv(&conv1, LifParams::default(), &input).is_err());
+    }
+
+    #[test]
+    fn silent_input_produces_no_accumulation_work() {
+        let conv = Conv2d::new(2, 4, 3, 1, 1).unwrap();
+        let core = SparseCore::new(2, 32);
+        let input = SpikeVolume::new(2, 2, 8, 8);
+        let (out, timing) = core.run_conv(&conv, LifParams::default(), &input).unwrap();
+        assert_eq!(out.total_spikes(), 0);
+        assert_eq!(timing.accumulation_cycles, 0);
+        // Compression still scans the (empty) spike trains.
+        assert!(timing.compression_cycles > 0);
+    }
+
+    #[test]
+    fn more_neural_cores_reduce_accumulation_cycles() {
+        let geo = LayerGeometry {
+            name: "CONV2_1".to_string(),
+            is_conv: true,
+            in_channels: 112,
+            out_channels: 192,
+            in_height: 16,
+            in_width: 16,
+            out_height: 16,
+            out_width: 16,
+            kernel: 3,
+            weight_count: 112 * 192 * 9,
+        };
+        let events = vec![5000_u64, 4000];
+        let small = SparseCore::new(2, 32).conv_timing(&events, &geo);
+        let big = SparseCore::new(16, 32).conv_timing(&events, &geo);
+        assert!(big.accumulation_cycles < small.accumulation_cycles);
+        assert!(big.total_cycles < small.total_cycles);
+        // Eq. 3 shape: accumulation = events × 9 × ceil(C_out / N).
+        assert_eq!(small.accumulation_cycles, 9000 * 9 * 96);
+    }
+
+    #[test]
+    fn timing_scales_with_spike_count() {
+        let geo = LayerGeometry {
+            name: "FC1".to_string(),
+            is_conv: false,
+            in_channels: 1024,
+            out_channels: 512,
+            in_height: 1,
+            in_width: 1,
+            out_height: 1,
+            out_width: 1,
+            kernel: 1,
+            weight_count: 1024 * 512,
+        };
+        let quiet = SparseCore::new(4, 32).linear_timing(&[100], &geo);
+        let busy = SparseCore::new(4, 32).linear_timing(&[10_000], &geo);
+        assert!(busy.total_cycles > quiet.total_cycles);
+        assert_eq!(busy.accumulation_cycles, 10_000 * 128);
+    }
+
+    #[test]
+    fn wider_chunks_speed_up_compression() {
+        let geo = LayerGeometry {
+            name: "CONV3_1".to_string(),
+            is_conv: true,
+            in_channels: 216,
+            out_channels: 480,
+            in_height: 8,
+            in_width: 8,
+            out_height: 8,
+            out_width: 8,
+            kernel: 3,
+            weight_count: 0,
+        };
+        let narrow = SparseCore::new(8, 8).conv_timing(&[100], &geo);
+        let wide = SparseCore::new(8, 64).conv_timing(&[100], &geo);
+        assert!(wide.compression_cycles < narrow.compression_cycles);
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion bench of the end-to-end flow: functional VGG9 inference on the
+//! scaled-down network plus the accelerator performance estimate, and a
+//! clock-gating ablation of the power model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snn_accel::accelerator::HybridAccelerator;
+use snn_accel::config::HwConfig;
+use snn_bench::experiments::bench_image;
+use snn_core::encoding::Encoder;
+use snn_core::network::{vgg9, Vgg9Config};
+use snn_core::quant::Precision;
+
+fn end_to_end_inference(c: &mut Criterion) {
+    let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let image = bench_image(&[3, 16, 16]);
+    c.bench_function("vgg9_small_direct_inference", |b| {
+        b.iter(|| net.run(&image, &Encoder::paper_direct()).unwrap());
+    });
+}
+
+fn accelerator_estimate(c: &mut Criterion) {
+    let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let image = bench_image(&[3, 16, 16]);
+    let traces = net.run(&image, &Encoder::paper_direct()).unwrap().traces;
+    let cfg = HwConfig::from_allocation(
+        "bench",
+        Precision::Int4,
+        &[1, 4, 2, 4, 2, 4, 4, 2, 1],
+    )
+    .unwrap();
+    let accel = HybridAccelerator::new(&net, cfg).unwrap();
+    c.bench_function("accelerator_estimate", |b| {
+        b.iter(|| accel.estimate(&traces).unwrap());
+    });
+}
+
+fn clock_gating_ablation(c: &mut Criterion) {
+    let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let image = bench_image(&[3, 16, 16]);
+    let traces = net.run(&image, &Encoder::paper_direct()).unwrap().traces;
+    let base = HwConfig::from_allocation(
+        "bench",
+        Precision::Int4,
+        &[1, 4, 2, 4, 2, 4, 4, 2, 1],
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("clock_gating_ablation");
+    for (label, cfg) in [
+        ("gated", base.clone()),
+        ("ungated", base.without_clock_gating()),
+    ] {
+        let accel = HybridAccelerator::new(&net, cfg).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| accel.estimate(&traces).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    end_to_end_inference,
+    accelerator_estimate,
+    clock_gating_ablation
+);
+criterion_main!(benches);

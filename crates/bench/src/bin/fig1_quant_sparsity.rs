@@ -1,0 +1,27 @@
+//! Regenerates Fig. 1: quantization effect on the total number of spikes.
+//!
+//! Usage: `cargo run --release -p snn-bench --bin fig1_quant_sparsity [--smoke] [--json]`
+
+use snn_bench::experiments::ExperimentScale;
+use snn_bench::fig1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(&args);
+    println!("Fig. 1 — quantization effect on total spikes (scale: {scale:?})");
+    match fig1::run(scale) {
+        Ok(report) => {
+            println!("{}", fig1::render(&report));
+            if args.iter().any(|a| a == "--json") {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(json) => println!("{json}"),
+                    Err(err) => eprintln!("failed to serialise report: {err}"),
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("fig1 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table I: area utilisation and power of the int4 vs fp32
+//! CIFAR-100 hardware (perf2 configuration).
+//!
+//! Usage: `cargo run --release -p snn-bench --bin table1_resources [--json]`
+
+use snn_bench::table1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!("Table I — area utilisation and power (CIFAR-100, perf2)");
+    match table1::run() {
+        Ok(report) => {
+            println!("{}", table1::render(&report));
+            if args.iter().any(|a| a == "--json") {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(json) => println!("{json}"),
+                    Err(err) => eprintln!("failed to serialise report: {err}"),
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("table1 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

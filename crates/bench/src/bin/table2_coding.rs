@@ -1,0 +1,28 @@
+//! Regenerates Table II: direct vs rate coding on CIFAR-10 (quantized LW
+//! hardware).
+//!
+//! Usage: `cargo run --release -p snn-bench --bin table2_coding [--smoke] [--json]`
+
+use snn_bench::experiments::ExperimentScale;
+use snn_bench::table2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(&args);
+    println!("Table II — direct vs rate coding on CIFAR-10 (scale: {scale:?})");
+    match table2::run(scale) {
+        Ok(report) => {
+            println!("{}", table2::render(&report));
+            if args.iter().any(|a| a == "--json") {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(json) => println!("{json}"),
+                    Err(err) => eprintln!("failed to serialise report: {err}"),
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("table2 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

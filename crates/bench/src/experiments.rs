@@ -1,0 +1,252 @@
+//! Shared experiment infrastructure: scales, dataset/model pairings and the
+//! trained-model cache used by the accuracy experiments.
+
+use snn_core::encoding::Encoder;
+use snn_core::error::SnnError;
+use snn_core::network::{vgg9, LayerTrace, SnnNetwork, Vgg9Config};
+use snn_core::quant::Precision;
+use snn_core::tensor::Tensor;
+use snn_data::{Dataset, Split, SyntheticConfig, SyntheticDataset};
+use snn_train::trainer::{evaluate, EvalReport, TrainConfig, Trainer};
+
+/// How much compute an experiment run is allowed to spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Minimal settings used by integration tests (seconds).
+    Smoke,
+    /// The default command-line settings (a couple of minutes on a laptop).
+    Full,
+}
+
+impl ExperimentScale {
+    /// Parses `--smoke` style command-line arguments (anything containing
+    /// "smoke" selects the smoke scale).
+    pub fn from_args(args: &[String]) -> Self {
+        if args.iter().any(|a| a.contains("smoke")) {
+            ExperimentScale::Smoke
+        } else {
+            ExperimentScale::Full
+        }
+    }
+
+    /// Training samples per epoch for accuracy experiments.
+    pub fn train_samples(self) -> usize {
+        match self {
+            ExperimentScale::Smoke => 20,
+            ExperimentScale::Full => 120,
+        }
+    }
+
+    /// Evaluation samples for accuracy/sparsity measurements.
+    pub fn eval_samples(self) -> usize {
+        match self {
+            ExperimentScale::Smoke => 10,
+            ExperimentScale::Full => 60,
+        }
+    }
+
+    /// Training epochs for accuracy experiments.
+    pub fn epochs(self) -> usize {
+        match self {
+            ExperimentScale::Smoke => 1,
+            ExperimentScale::Full => 4,
+        }
+    }
+
+    /// Number of images used to collect paper-scale hardware traces.
+    pub fn trace_images(self) -> usize {
+        match self {
+            ExperimentScale::Smoke => 1,
+            ExperimentScale::Full => 2,
+        }
+    }
+}
+
+/// The three evaluation datasets of the paper.
+pub const DATASETS: [&str; 3] = ["svhn", "cifar10", "cifar100"];
+
+/// Builds the scaled-down synthetic dataset used for the *trainable*
+/// experiments (Fig. 1 accuracy/sparsity, Table II accuracy).
+pub fn small_dataset(name: &str, scale: ExperimentScale) -> SyntheticDataset {
+    let base = match name {
+        "svhn" => SyntheticConfig::svhn_like(),
+        "cifar100" => SyntheticConfig::cifar100_like(),
+        _ => SyntheticConfig::cifar10_like(),
+    };
+    SyntheticDataset::generate(base.scaled_down(
+        16,
+        scale.train_samples(),
+        scale.eval_samples(),
+    ))
+}
+
+/// Builds the scaled-down VGG9 matching [`small_dataset`].
+pub fn small_network(name: &str) -> Result<SnnNetwork, SnnError> {
+    let cfg = match name {
+        "svhn" => Vgg9Config::svhn_small(),
+        "cifar100" => Vgg9Config::cifar100_small(),
+        _ => Vgg9Config::cifar10_small(),
+    };
+    vgg9(&cfg)
+}
+
+/// Builds the paper-scale VGG9 for a dataset (used for the hardware-model
+/// experiments where only the layer geometry and spike statistics matter).
+pub fn paper_network(name: &str) -> Result<SnnNetwork, SnnError> {
+    let cfg = match name {
+        "svhn" => Vgg9Config::svhn(),
+        "cifar100" => Vgg9Config::cifar100(),
+        _ => Vgg9Config::cifar10(),
+    };
+    vgg9(&cfg)
+}
+
+/// A trained model together with its evaluation report.
+#[derive(Debug)]
+pub struct TrainedModel {
+    /// The trained network (weights already at the requested precision for
+    /// inference).
+    pub network: SnnNetwork,
+    /// Evaluation on the held-out split.
+    pub eval: EvalReport,
+    /// The precision the model was trained/evaluated at.
+    pub precision: Precision,
+}
+
+/// Trains a scaled-down VGG9 on a synthetic dataset at the given precision
+/// (QAT when quantized) and evaluates it with the given encoder.
+///
+/// # Errors
+///
+/// Propagates training/inference errors.
+pub fn train_and_evaluate(
+    dataset_name: &str,
+    precision: Precision,
+    encoder: Encoder,
+    scale: ExperimentScale,
+) -> Result<TrainedModel, SnnError> {
+    let data = small_dataset(dataset_name, scale);
+    let mut network = small_network(dataset_name)?;
+    let mut cfg = TrainConfig::quick_qat(precision);
+    cfg.encoder = encoder;
+    cfg.epochs = scale.epochs();
+    cfg.max_train_samples = Some(scale.train_samples());
+    cfg.batch_size = 8;
+    let mut trainer = Trainer::new(cfg);
+    trainer.fit(&mut network, &data)?;
+    // Materialise the quantized weights for inference, as the hardware does.
+    network.apply_precision(precision)?;
+    let eval = evaluate(
+        &mut network,
+        &data,
+        Split::Test,
+        &encoder,
+        Some(scale.eval_samples()),
+    )?;
+    Ok(TrainedModel {
+        network,
+        eval,
+        precision,
+    })
+}
+
+/// Collects paper-scale spike traces for a dataset by running the paper-scale
+/// VGG9 (at the given precision) on a handful of synthetic images. The
+/// returned traces average over the images by concatenation: the accelerator
+/// estimate is computed per image and the caller typically averages the
+/// reports.
+///
+/// # Errors
+///
+/// Propagates inference errors.
+pub fn paper_scale_traces(
+    dataset_name: &str,
+    precision: Precision,
+    encoder: Encoder,
+    images: usize,
+) -> Result<Vec<Vec<LayerTrace>>, SnnError> {
+    let mut network = paper_network(dataset_name)?;
+    network.apply_precision(precision)?;
+    let config = match dataset_name {
+        "svhn" => SyntheticConfig::svhn_like(),
+        "cifar100" => SyntheticConfig::cifar100_like(),
+        _ => SyntheticConfig::cifar10_like(),
+    };
+    let data = SyntheticDataset::generate(config.scaled_down(32, images.max(1), images.max(1)));
+    let mut all = Vec::with_capacity(images);
+    for i in 0..images.max(1) {
+        let sample = data.sample(Split::Test, i % data.len(Split::Test));
+        let out = network.run_seeded(&sample.image, &encoder, i as u64)?;
+        all.push(out.traces);
+    }
+    Ok(all)
+}
+
+/// Convenience: a deterministic synthetic image of a given shape, used by the
+/// Criterion benches.
+pub fn bench_image(shape: &[usize]) -> Tensor {
+    Tensor::from_fn(shape, |i| ((i as f32) * 0.0137).sin().abs())
+}
+
+/// Maps a dataset name to the population accuracy reference of the paper
+/// (used for context lines in the printed reports).
+pub fn paper_accuracy_reference(dataset: &str, precision: Precision) -> f64 {
+    match (dataset, precision.is_quantized()) {
+        ("svhn", false) => 94.3,
+        ("svhn", true) => 93.8,
+        ("cifar10", false) => 86.6,
+        ("cifar10", true) => 86.2,
+        ("cifar100", false) => 57.3,
+        ("cifar100", true) => 54.2,
+        _ => f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_budgets() {
+        assert_eq!(
+            ExperimentScale::from_args(&["--smoke".to_string()]),
+            ExperimentScale::Smoke
+        );
+        assert_eq!(ExperimentScale::from_args(&[]), ExperimentScale::Full);
+        assert!(ExperimentScale::Full.train_samples() > ExperimentScale::Smoke.train_samples());
+        assert!(ExperimentScale::Full.epochs() >= ExperimentScale::Smoke.epochs());
+        assert!(ExperimentScale::Smoke.trace_images() >= 1);
+        assert!(ExperimentScale::Smoke.eval_samples() > 0);
+    }
+
+    #[test]
+    fn small_dataset_and_network_are_consistent() {
+        for name in DATASETS {
+            let data = small_dataset(name, ExperimentScale::Smoke);
+            let net = small_network(name).unwrap();
+            assert_eq!(net.num_classes(), data.num_classes());
+            assert_eq!(net.input_shape(), data.image_shape());
+        }
+    }
+
+    #[test]
+    fn paper_network_matches_paper_population() {
+        let c100 = paper_network("cifar100").unwrap();
+        assert_eq!(c100.population(), 5000);
+        assert_eq!(c100.num_classes(), 100);
+        let c10 = paper_network("cifar10").unwrap();
+        assert_eq!(c10.population(), 1000);
+    }
+
+    #[test]
+    fn accuracy_references_match_fig1_caption() {
+        assert_eq!(paper_accuracy_reference("svhn", Precision::Fp32), 94.3);
+        assert_eq!(paper_accuracy_reference("cifar100", Precision::Int4), 54.2);
+        assert!(paper_accuracy_reference("mnist", Precision::Fp32).is_nan());
+    }
+
+    #[test]
+    fn bench_image_is_deterministic() {
+        assert_eq!(bench_image(&[1, 4, 4]), bench_image(&[1, 4, 4]));
+    }
+}

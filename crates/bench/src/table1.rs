@@ -1,0 +1,191 @@
+//! Table I — area utilisation and power of the int4 vs fp32 hardware.
+//!
+//! The paper reports per-layer LUT/FF, BRAM/URAM and instance-level dynamic
+//! power of the CIFAR-100 accelerator in its `perf2` configuration, for both
+//! weight precisions. This experiment rebuilds both designs with the
+//! resource/power models and prints the same rows, plus the device
+//! utilisation and the fp32/int4 ratios the paper highlights (≈8× LUTs,
+//! ≈3.4× memory blocks, 2.82× dynamic power).
+
+use crate::experiments::paper_network;
+use serde::{Deserialize, Serialize};
+use snn_accel::config::{HwConfig, PerfScale};
+use snn_accel::power;
+use snn_accel::resources::estimate_layers;
+use snn_core::error::SnnError;
+use snn_core::quant::Precision;
+
+/// One row of the Table I reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerRow {
+    /// Layer name.
+    pub name: String,
+    /// LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// BRAM36 blocks.
+    pub bram: u64,
+    /// URAM blocks.
+    pub uram: u64,
+    /// Instance-level dynamic power in watts.
+    pub power_watts: f64,
+}
+
+/// One precision's half of Table I.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrecisionReport {
+    /// The precision.
+    pub precision: String,
+    /// Per-layer rows.
+    pub layers: Vec<LayerRow>,
+    /// Total LUTs.
+    pub total_luts: u64,
+    /// Total FFs.
+    pub total_ffs: u64,
+    /// Total BRAM blocks.
+    pub total_bram: u64,
+    /// Total URAM blocks.
+    pub total_uram: u64,
+    /// Total dynamic power in watts.
+    pub total_dynamic_watts: f64,
+    /// Device static power in watts.
+    pub static_watts: f64,
+    /// LUT utilisation fraction of the XCVU13P.
+    pub lut_utilization: f64,
+    /// BRAM utilisation fraction.
+    pub bram_utilization: f64,
+    /// URAM utilisation fraction.
+    pub uram_utilization: f64,
+}
+
+/// The full Table I report (both precisions and their ratios).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Report {
+    /// The int4 design.
+    pub int4: PrecisionReport,
+    /// The fp32 design.
+    pub fp32: PrecisionReport,
+    /// fp32 / int4 LUT ratio.
+    pub lut_ratio: f64,
+    /// fp32 / int4 memory block (BRAM + URAM) ratio.
+    pub memory_ratio: f64,
+    /// fp32 / int4 dynamic power ratio.
+    pub power_ratio: f64,
+}
+
+fn precision_report(precision: Precision) -> Result<PrecisionReport, SnnError> {
+    let network = paper_network("cifar100")?;
+    let geometry = network.geometry()?;
+    let config = HwConfig::paper("cifar100", precision, PerfScale::Perf2)?;
+    let resources = estimate_layers(&geometry, &config, 2)?;
+    let power_est = power::estimate(&resources, precision, config.clock_gating);
+    let layers = resources
+        .layers
+        .iter()
+        .zip(power_est.layers.iter())
+        .map(|(r, p)| LayerRow {
+            name: r.name.clone(),
+            luts: r.luts,
+            ffs: r.ffs,
+            bram: r.bram,
+            uram: r.uram,
+            power_watts: p.dynamic_watts,
+        })
+        .collect();
+    Ok(PrecisionReport {
+        precision: precision.to_string(),
+        layers,
+        total_luts: resources.total_luts(),
+        total_ffs: resources.total_ffs(),
+        total_bram: resources.total_bram(),
+        total_uram: resources.total_uram(),
+        total_dynamic_watts: power_est.total_dynamic_watts(),
+        static_watts: power_est.static_watts,
+        lut_utilization: resources.lut_utilization(),
+        bram_utilization: resources.bram_utilization(),
+        uram_utilization: resources.uram_utilization(),
+    })
+}
+
+/// Runs the Table I experiment (no training involved, so there is no scale
+/// parameter).
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn run() -> Result<Table1Report, SnnError> {
+    let int4 = precision_report(Precision::Int4)?;
+    let fp32 = precision_report(Precision::Fp32)?;
+    let mem_int4 = (int4.total_bram + int4.total_uram).max(1);
+    let mem_fp32 = fp32.total_bram + fp32.total_uram;
+    Ok(Table1Report {
+        lut_ratio: fp32.total_luts as f64 / int4.total_luts.max(1) as f64,
+        memory_ratio: mem_fp32 as f64 / mem_int4 as f64,
+        power_ratio: fp32.total_dynamic_watts / int4.total_dynamic_watts.max(1e-12),
+        int4,
+        fp32,
+    })
+}
+
+/// Renders the report as two paper-style tables plus the ratio summary.
+pub fn render(report: &Table1Report) -> String {
+    use crate::report::{format_table, num};
+    let mut out = String::new();
+    for pr in [&report.int4, &report.fp32] {
+        out.push_str(&format!("\n{} hardware (CIFAR-100, perf2)\n", pr.precision));
+        let rows: Vec<Vec<String>> = pr
+            .layers
+            .iter()
+            .map(|l| {
+                vec![
+                    l.name.clone(),
+                    format!("{:.1}K & {:.1}K", l.luts as f64 / 1e3, l.ffs as f64 / 1e3),
+                    format!("{} & {}", l.bram, l.uram),
+                    num(l.power_watts, 3),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            &["Layer", "LUT & FF", "BRAM & URAM", "Power [W]"],
+            &rows,
+        ));
+        out.push_str(&format!(
+            "Total: {:.1}K LUT, {:.1}K FF, {} BRAM, {} URAM, {:.3} W dynamic ({:.2} W static)\n",
+            pr.total_luts as f64 / 1e3,
+            pr.total_ffs as f64 / 1e3,
+            pr.total_bram,
+            pr.total_uram,
+            pr.total_dynamic_watts,
+            pr.static_watts
+        ));
+        out.push_str(&format!(
+            "Utilization: {:.2}% LUT, {:.2}% BRAM, {:.2}% URAM\n",
+            pr.lut_utilization * 100.0,
+            pr.bram_utilization * 100.0,
+            pr.uram_utilization * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "\nfp32 / int4 ratios: {:.1}x LUTs, {:.1}x memory blocks, {:.2}x dynamic power (paper: ~8x, ~3.4x, 2.82x)\n",
+        report.lut_ratio, report.memory_ratio, report.power_ratio
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_ratios_follow_the_paper_direction() {
+        let report = run().unwrap();
+        assert!(report.lut_ratio > 1.0, "fp32 must need more LUTs");
+        assert!(report.memory_ratio > 1.0, "fp32 must need more memory blocks");
+        assert!(report.power_ratio > 1.5, "fp32 must burn more dynamic power");
+        assert_eq!(report.int4.layers.len(), 9);
+        let text = render(&report);
+        assert!(text.contains("CONV1_1"));
+        assert!(text.contains("fp32 / int4 ratios"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Error type shared by every fallible operation in the SNN substrate.
+
+use std::fmt;
+
+/// Error returned by fallible operations in [`crate`].
+///
+/// The variants carry enough context to diagnose shape mismatches and invalid
+/// configurations without needing a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnnError {
+    /// Two tensors (or a tensor and a layer) disagree about their shapes.
+    ShapeMismatch {
+        /// Shape that was expected by the consumer.
+        expected: Vec<usize>,
+        /// Shape that was actually provided.
+        actual: Vec<usize>,
+        /// Human-readable description of where the mismatch happened.
+        context: String,
+    },
+    /// A configuration value is outside its legal range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: String,
+        /// Explanation of the constraint that was violated.
+        message: String,
+    },
+    /// An index was out of bounds for the addressed structure.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The length of the indexed structure.
+        len: usize,
+        /// Human-readable description of what was being indexed.
+        context: String,
+    },
+    /// A numerical operation produced a non-finite value.
+    NumericalError {
+        /// Description of the operation that failed.
+        context: String,
+    },
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::ShapeMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected:?}, got {actual:?}"
+            ),
+            SnnError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid configuration for `{parameter}`: {message}")
+            }
+            SnnError::IndexOutOfBounds {
+                index,
+                len,
+                context,
+            } => write!(
+                f,
+                "index {index} out of bounds for {context} of length {len}"
+            ),
+            SnnError::NumericalError { context } => {
+                write!(f, "numerical error: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnnError {}
+
+impl SnnError {
+    /// Convenience constructor for [`SnnError::ShapeMismatch`].
+    pub fn shape(expected: &[usize], actual: &[usize], context: impl Into<String>) -> Self {
+        SnnError::ShapeMismatch {
+            expected: expected.to_vec(),
+            actual: actual.to_vec(),
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SnnError::InvalidConfig`].
+    pub fn config(parameter: impl Into<String>, message: impl Into<String>) -> Self {
+        SnnError::InvalidConfig {
+            parameter: parameter.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SnnError::IndexOutOfBounds`].
+    pub fn index(index: usize, len: usize, context: impl Into<String>) -> Self {
+        SnnError::IndexOutOfBounds {
+            index,
+            len,
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SnnError::NumericalError`].
+    pub fn numerical(context: impl Into<String>) -> Self {
+        SnnError::NumericalError {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch_mentions_both_shapes() {
+        let err = SnnError::shape(&[1, 2], &[3, 4], "conv forward");
+        let text = err.to_string();
+        assert!(text.contains("[1, 2]"));
+        assert!(text.contains("[3, 4]"));
+        assert!(text.contains("conv forward"));
+    }
+
+    #[test]
+    fn display_invalid_config_mentions_parameter() {
+        let err = SnnError::config("beta", "must be in [0, 1]");
+        assert!(err.to_string().contains("beta"));
+        assert!(err.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = SnnError::index(10, 5, "spike train");
+        let text = err.to_string();
+        assert!(text.contains("10"));
+        assert!(text.contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SnnError>();
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let err = SnnError::numerical("NaN in membrane potential");
+        let as_dyn: &dyn std::error::Error = &err;
+        assert!(as_dyn.to_string().contains("NaN"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Model checkpointing.
+//!
+//! The training substrate needs a way to persist a trained (possibly
+//! QAT-trained) network and reload it for the hardware experiments, mirroring
+//! how the authors export snnTorch checkpoints into their RTL flow. Networks
+//! serialise to a single JSON document containing the layer stack, the LIF
+//! hyper-parameters and all weights.
+
+use crate::error::SnnError;
+use crate::network::SnnNetwork;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Container persisted to disk: the network plus free-form metadata
+/// (dataset name, precision, training configuration, accuracy, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version, bumped on breaking layout changes.
+    pub version: u32,
+    /// Free-form metadata recorded by the producer.
+    pub metadata: std::collections::BTreeMap<String, String>,
+    /// The network itself.
+    pub network: SnnNetwork,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl Checkpoint {
+    /// Wraps a network into a checkpoint.
+    pub fn new(network: SnnNetwork) -> Self {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            metadata: std::collections::BTreeMap::new(),
+            network,
+        }
+    }
+
+    /// Adds a metadata entry (builder style).
+    #[must_use]
+    pub fn with_metadata(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.metadata.insert(key.into(), value.into());
+        self
+    }
+
+    /// Serialises the checkpoint to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::NumericalError`] if serialisation fails (which can
+    /// only happen for non-finite floats with some serde configurations).
+    pub fn to_json(&self) -> Result<String, SnnError> {
+        serde_json::to_string(self)
+            .map_err(|e| SnnError::numerical(format!("checkpoint serialisation failed: {e}")))
+    }
+
+    /// Parses a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if the document is malformed or has
+    /// an unsupported version.
+    pub fn from_json(json: &str) -> Result<Self, SnnError> {
+        let checkpoint: Checkpoint = serde_json::from_str(json)
+            .map_err(|e| SnnError::config("checkpoint", format!("malformed checkpoint: {e}")))?;
+        if checkpoint.version != CHECKPOINT_VERSION {
+            return Err(SnnError::config(
+                "version",
+                format!(
+                    "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
+                    checkpoint.version
+                ),
+            ));
+        }
+        Ok(checkpoint)
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] on I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnnError> {
+        let json = self.to_json()?;
+        fs::write(path.as_ref(), json).map_err(|e| {
+            SnnError::config(
+                "path",
+                format!("failed to write checkpoint {}: {e}", path.as_ref().display()),
+            )
+        })
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] on I/O failure or malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnnError> {
+        let json = fs::read_to_string(path.as_ref()).map_err(|e| {
+            SnnError::config(
+                "path",
+                format!("failed to read checkpoint {}: {e}", path.as_ref().display()),
+            )
+        })?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoder;
+    use crate::network::{vgg9, Vgg9Config};
+    use crate::tensor::Tensor;
+
+    fn sample_network() -> SnnNetwork {
+        vgg9(&Vgg9Config::cifar10_small()).unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_network_behaviour() {
+        let mut original = sample_network();
+        let checkpoint = Checkpoint::new(original.clone())
+            .with_metadata("dataset", "cifar10-small")
+            .with_metadata("precision", "fp32");
+        let json = checkpoint.to_json().unwrap();
+        let restored = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(restored.metadata["dataset"], "cifar10-small");
+
+        // The restored network must produce identical inference results.
+        let mut restored_net = restored.network;
+        let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.03).sin().abs());
+        let a = original.run(&image, &Encoder::direct(2)).unwrap();
+        let b = restored_net.run(&image, &Encoder::direct(2)).unwrap();
+        assert_eq!(a.logits, b.logits);
+        assert_eq!(a.record.total_spikes(), b.record.total_spikes());
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_wrong_version() {
+        assert!(Checkpoint::from_json("not json at all").is_err());
+        let mut checkpoint = Checkpoint::new(sample_network());
+        checkpoint.version = 999;
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        assert!(Checkpoint::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn save_and_load_via_filesystem() {
+        let dir = std::env::temp_dir().join("snn_dse_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let checkpoint = Checkpoint::new(sample_network()).with_metadata("k", "v");
+        checkpoint.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.metadata["k"], "v");
+        assert_eq!(loaded.version, CHECKPOINT_VERSION);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_an_error() {
+        assert!(Checkpoint::load("/nonexistent/path/model.json").is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! 2-D convolution layer (the synaptic weights of a spiking CONV layer).
+
+use crate::error::SnnError;
+use crate::quant::{fake_quantize, Precision};
+use crate::tensor::{matmul, Tensor};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution with square kernels, symmetric zero padding and a bias
+/// per output channel.
+///
+/// The weight tensor has shape `[out_channels, in_channels, k, k]` and the
+/// forward pass produces the *membrane input current* for each output neuron;
+/// thresholding and spiking are performed by the LIF population that follows
+/// the layer.
+///
+/// # Example
+///
+/// ```
+/// use snn_core::layers::Conv2d;
+/// use snn_core::tensor::Tensor;
+///
+/// # fn main() -> Result<(), snn_core::SnnError> {
+/// let conv = Conv2d::new(3, 8, 3, 1, 1)?;
+/// let input = Tensor::zeros(&[3, 16, 16]);
+/// let out = conv.forward(&input)?;
+/// assert_eq!(out.shape(), &[8, 16, 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: Tensor,
+    bias: Tensor,
+}
+
+impl Conv2d {
+    /// Creates a convolution with zero-initialised weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if any dimension is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, SnnError> {
+        if in_channels == 0 || out_channels == 0 {
+            return Err(SnnError::config("channels", "channel counts must be positive"));
+        }
+        if kernel == 0 {
+            return Err(SnnError::config("kernel", "kernel size must be positive"));
+        }
+        if stride == 0 {
+            return Err(SnnError::config("stride", "stride must be positive"));
+        }
+        Ok(Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            bias: Tensor::zeros(&[out_channels]),
+        })
+    }
+
+    /// Creates a convolution with Kaiming-uniform initialised weights, the
+    /// initialisation the training substrate uses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Conv2d::new`].
+    pub fn with_kaiming_init(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, SnnError> {
+        let mut conv = Conv2d::new(in_channels, out_channels, kernel, stride, padding)?;
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let bound = (6.0 / fan_in).sqrt();
+        conv.weight = Tensor::from_fn(conv.weight.shape(), |_| rng.gen_range(-bound..bound));
+        conv.bias = Tensor::from_fn(&[out_channels], |_| rng.gen_range(-0.01..0.01));
+        Ok(conv)
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels (output feature maps).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Square kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on each border.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Number of filter coefficients per output channel (`F` in Eq. 3:
+    /// `in_channels * k * k`, e.g. 9 per input channel for 3×3 filters).
+    pub fn coefficients_per_output(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Weight tensor of shape `[out_channels, in_channels, k, k]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable weight tensor.
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// Bias vector of shape `[out_channels]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Replaces the weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the shape differs from
+    /// `[out_channels, in_channels, k, k]`.
+    pub fn set_weight(&mut self, weight: Tensor) -> Result<(), SnnError> {
+        let expected = [self.out_channels, self.in_channels, self.kernel, self.kernel];
+        if weight.shape() != expected {
+            return Err(SnnError::shape(&expected, weight.shape(), "Conv2d::set_weight"));
+        }
+        self.weight = weight;
+        Ok(())
+    }
+
+    /// Replaces the bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the shape differs from
+    /// `[out_channels]`.
+    pub fn set_bias(&mut self, bias: Tensor) -> Result<(), SnnError> {
+        if bias.shape() != [self.out_channels] {
+            return Err(SnnError::shape(
+                &[self.out_channels],
+                bias.shape(),
+                "Conv2d::set_bias",
+            ));
+        }
+        self.bias = bias;
+        Ok(())
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Output shape `[out_channels, out_h, out_w]` for an input of shape
+    /// `[in_channels, h, w]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the input is not 3-D with the
+    /// expected channel count, or [`SnnError::InvalidConfig`] if the kernel
+    /// does not fit.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<[usize; 3], SnnError> {
+        if input_shape.len() != 3 || input_shape[0] != self.in_channels {
+            return Err(SnnError::shape(
+                &[self.in_channels, 0, 0],
+                input_shape,
+                "Conv2d::output_shape",
+            ));
+        }
+        let h = input_shape[1] + 2 * self.padding;
+        let w = input_shape[2] + 2 * self.padding;
+        if self.kernel > h || self.kernel > w {
+            return Err(SnnError::config(
+                "kernel",
+                "kernel larger than padded input",
+            ));
+        }
+        Ok([
+            self.out_channels,
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        ])
+    }
+
+    /// Computes the output membrane currents for one input frame of shape
+    /// `[in_channels, h, w]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] for a wrongly-shaped input.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, SnnError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let cols = input.im2col((self.kernel, self.kernel), self.stride, self.padding)?;
+        // weight as [out_channels, in_channels * k * k] times cols [rows, cols].
+        let k = self.coefficients_per_output();
+        let out = matmul(self.weight.as_slice(), &cols.data, self.out_channels, k, cols.cols);
+        let mut out_tensor = Tensor::from_vec(out, &out_shape)?;
+        // Add the per-channel bias.
+        let plane = out_shape[1] * out_shape[2];
+        let data = out_tensor.as_mut_slice();
+        for oc in 0..self.out_channels {
+            let b = self.bias.as_slice()[oc];
+            if b != 0.0 {
+                for v in &mut data[oc * plane..(oc + 1) * plane] {
+                    *v += b;
+                }
+            }
+        }
+        Ok(out_tensor)
+    }
+
+    /// Returns a copy of the layer with fake-quantized weights and biases, as
+    /// used for post-training evaluation of a quantized model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization errors.
+    pub fn to_precision(&self, precision: Precision) -> Result<Conv2d, SnnError> {
+        let mut out = self.clone();
+        out.weight = fake_quantize(&self.weight, precision)?;
+        out.bias = fake_quantize(&self.bias, precision)?;
+        Ok(out)
+    }
+
+    /// On-chip storage in bits needed for the weights and biases at the given
+    /// precision, used by the FPGA memory model.
+    pub fn storage_bits(&self, precision: Precision) -> u64 {
+        (self.weight.len() + self.bias.len()) as u64 * u64::from(precision.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_validates_arguments() {
+        assert!(Conv2d::new(0, 8, 3, 1, 1).is_err());
+        assert!(Conv2d::new(3, 0, 3, 1, 1).is_err());
+        assert!(Conv2d::new(3, 8, 0, 1, 1).is_err());
+        assert!(Conv2d::new(3, 8, 3, 0, 1).is_err());
+        assert!(Conv2d::new(3, 8, 3, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn output_shape_same_padding() {
+        let conv = Conv2d::new(3, 64, 3, 1, 1).unwrap();
+        assert_eq!(conv.output_shape(&[3, 32, 32]).unwrap(), [64, 32, 32]);
+        assert!(conv.output_shape(&[4, 32, 32]).is_err());
+        assert!(conv.output_shape(&[3, 32]).is_err());
+    }
+
+    #[test]
+    fn output_shape_with_stride() {
+        let conv = Conv2d::new(1, 1, 3, 2, 1).unwrap();
+        assert_eq!(conv.output_shape(&[1, 32, 32]).unwrap(), [1, 16, 16]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0).unwrap();
+        conv.set_weight(Tensor::ones(&[1, 1, 1, 1])).unwrap();
+        let input = Tensor::from_fn(&[1, 4, 4], |i| i as f32);
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_convolution_value() {
+        // Single channel, single output, 3x3 all-ones kernel, no padding:
+        // output = sum of the 3x3 neighbourhood.
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0).unwrap();
+        conv.set_weight(Tensor::ones(&[1, 1, 3, 3])).unwrap();
+        let input = Tensor::from_fn(&[1, 3, 3], |i| (i + 1) as f32); // 1..9
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert_eq!(out.as_slice()[0], 45.0);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0).unwrap();
+        conv.set_weight(Tensor::zeros(&[2, 1, 1, 1])).unwrap();
+        conv.set_bias(Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap()).unwrap();
+        let out = conv.forward(&Tensor::zeros(&[1, 2, 2])).unwrap();
+        assert_eq!(&out.as_slice()[..4], &[1.5; 4]);
+        assert_eq!(&out.as_slice()[4..], &[-2.0; 4]);
+    }
+
+    #[test]
+    fn set_weight_and_bias_validate_shapes() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1).unwrap();
+        assert!(conv.set_weight(Tensor::zeros(&[3, 2, 3, 3])).is_ok());
+        assert!(conv.set_weight(Tensor::zeros(&[2, 3, 3, 3])).is_err());
+        assert!(conv.set_bias(Tensor::zeros(&[3])).is_ok());
+        assert!(conv.set_bias(Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn kaiming_init_is_bounded_and_nonzero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::with_kaiming_init(3, 16, 3, 1, 1, &mut rng).unwrap();
+        let bound = (6.0_f32 / 27.0).sqrt();
+        assert!(conv.weight().as_slice().iter().all(|&w| w.abs() <= bound));
+        assert!(conv.weight().count_nonzero() > 0);
+    }
+
+    #[test]
+    fn num_params_and_coefficients() {
+        let conv = Conv2d::new(3, 64, 3, 1, 1).unwrap();
+        assert_eq!(conv.num_params(), 64 * 3 * 9 + 64);
+        assert_eq!(conv.coefficients_per_output(), 27);
+    }
+
+    #[test]
+    fn storage_bits_scale_with_precision() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1).unwrap();
+        let fp32 = conv.storage_bits(Precision::Fp32);
+        let int4 = conv.storage_bits(Precision::Int4);
+        assert_eq!(fp32, int4 * 8);
+    }
+
+    #[test]
+    fn to_precision_quantizes_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::with_kaiming_init(2, 4, 3, 1, 1, &mut rng).unwrap();
+        let q = conv.to_precision(Precision::Int4).unwrap();
+        assert_ne!(q.weight(), conv.weight());
+        let same = conv.to_precision(Precision::Fp32).unwrap();
+        assert_eq!(same.weight(), conv.weight());
+    }
+
+    #[test]
+    fn binary_input_forward_matches_event_accumulation() {
+        // For a binary (spiking) input, the convolution output must equal the
+        // sum of the filter taps at the spike locations — the exact operation
+        // the sparse core performs event by event.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::with_kaiming_init(1, 2, 3, 1, 1, &mut rng).unwrap();
+        conv.set_bias(Tensor::zeros(&[2])).unwrap();
+        let mut input = Tensor::zeros(&[1, 5, 5]);
+        input.set(&[0, 1, 2], 1.0).unwrap();
+        input.set(&[0, 3, 3], 1.0).unwrap();
+        let dense = conv.forward(&input).unwrap();
+
+        // Event-driven accumulation.
+        let mut event = Tensor::zeros(&[2, 5, 5]);
+        for oc in 0..2 {
+            for (sy, sx) in [(1usize, 2usize), (3usize, 3usize)] {
+                for ky in 0..3usize {
+                    for kx in 0..3usize {
+                        // With padding 1: output (oy, ox) receives input (sy, sx)
+                        // through tap (ky, kx) when oy = sy + 1 - ky, ox = sx + 1 - kx.
+                        let oy = sy as isize + 1 - ky as isize;
+                        let ox = sx as isize + 1 - kx as isize;
+                        if (0..5).contains(&oy) && (0..5).contains(&ox) {
+                            let w = conv.weight().get(&[oc, 0, ky, kx]).unwrap();
+                            let cur = event.get(&[oc, oy as usize, ox as usize]).unwrap();
+                            event
+                                .set(&[oc, oy as usize, ox as usize], cur + w)
+                                .unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        for (a, b) in dense.as_slice().iter().zip(event.as_slice().iter()) {
+            assert!((a - b).abs() < 1e-5, "dense {a} vs event {b}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Network layers: spiking convolution, fully-connected, spike max-pooling
+//! and batch normalisation.
+//!
+//! Each weight layer computes the synaptic input current for the LIF
+//! population that follows it ([`crate::neuron::LifPopulation`]); the layers
+//! themselves are stateless between timesteps. The spike max-pooling layer
+//! operates directly on binary spike maps (an OR over the pooling window),
+//! exactly as the sparse core implements it in hardware.
+
+mod batchnorm;
+mod conv;
+mod linear;
+mod pool;
+
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use pool::SpikeMaxPool2d;

@@ -1,0 +1,54 @@
+//! # snn-core
+//!
+//! Substrate library for the hybrid dense/sparse event-driven SNN accelerator
+//! reproduction (DATE 2025, "Exploring the Sparsity-Quantization Interplay on a
+//! Novel Hybrid SNN Event-Driven Architecture").
+//!
+//! This crate provides everything the algorithmic side of the paper needs:
+//!
+//! * [`tensor`] — a small NCHW tensor type with the shape algebra and im2col
+//!   helpers used by convolution layers,
+//! * [`neuron`] — the leaky integrate-and-fire (LIF) neuron of Eq. 1–2,
+//! * [`spike`] — bit-packed spike trains laid out timestep-major exactly like
+//!   the BRAM layout described in the paper's Fig. 2,
+//! * [`encoding`] — direct coding and rate coding input encoders,
+//! * [`quant`] — symmetric integer quantization used for int4/int8 QAT,
+//! * [`layers`] — Conv2d, Linear, spike max-pooling and batch normalisation,
+//! * [`network`] — the layer container plus VGG9 builders used in the paper,
+//! * [`stats`] — spike-count / sparsity statistics feeding the workload model.
+//!
+//! # Example
+//!
+//! Build the paper's VGG9 for a CIFAR-10-like input and run one direct-coded
+//! inference over two timesteps:
+//!
+//! ```
+//! use snn_core::network::{vgg9, Vgg9Config};
+//! use snn_core::encoding::Encoder;
+//! use snn_core::tensor::Tensor;
+//!
+//! # fn main() -> Result<(), snn_core::SnnError> {
+//! let cfg = Vgg9Config::cifar10_small();
+//! let mut net = vgg9(&cfg)?;
+//! let image = Tensor::zeros(&[cfg.in_channels, cfg.image_size, cfg.image_size]);
+//! let out = net.run(&image, &Encoder::direct(2))?;
+//! assert_eq!(out.logits.len(), cfg.num_classes);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod encoding;
+pub mod error;
+pub mod io;
+pub mod layers;
+pub mod network;
+pub mod neuron;
+pub mod quant;
+pub mod spike;
+pub mod stats;
+pub mod tensor;
+
+pub use error::SnnError;
+pub use neuron::{LifParams, LifPopulation};
+pub use spike::{SpikeRecord, SpikeTrain};
+pub use tensor::Tensor;

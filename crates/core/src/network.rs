@@ -1,0 +1,786 @@
+//! Network container and the paper's VGG9 model builders.
+//!
+//! The evaluated network is (Sec. V-A):
+//!
+//! ```text
+//! 64C3 - 112C3 - MP2 - 192C3 - 216C3 - MP2 - 480C3 - 504C3 - 560C3 - MP2 - 1064 - P
+//! ```
+//!
+//! i.e. seven 3×3 convolutions interleaved with three 2×2 spike max-pooling
+//! stages, one hidden fully-connected layer of 1064 neurons and a population
+//! output layer of `P` neurons (`P = 1000` for SVHN/CIFAR-10, `P = 5000` for
+//! CIFAR-100). Every weight layer is followed by a LIF activation
+//! ([`crate::neuron::LifPopulation`]); classification reads out the total
+//! spike count of each class's share of the population layer.
+//!
+//! [`SnnNetwork::run`] performs direct- or rate-coded inference over `T`
+//! timesteps and returns both the classification result and the per-layer
+//! spike traces that drive the accelerator simulator and the workload model.
+
+use crate::encoding::Encoder;
+use crate::error::SnnError;
+use crate::layers::{BatchNorm2d, Conv2d, Linear, SpikeMaxPool2d};
+use crate::neuron::{LifParams, LifPopulation};
+use crate::quant::Precision;
+use crate::spike::{SpikeRecord, SpikeVolume};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One stage of the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Spiking convolution: conv → (optional BN) → LIF.
+    Conv {
+        /// Layer name in the paper's nomenclature (e.g. `CONV1_1`).
+        name: String,
+        /// The convolution weights.
+        conv: Conv2d,
+        /// Optional batch normalisation (training only; fold for inference).
+        bn: Option<BatchNorm2d>,
+    },
+    /// Spike max-pooling.
+    Pool {
+        /// Layer name (e.g. `MP1`).
+        name: String,
+        /// The pooling operator.
+        pool: SpikeMaxPool2d,
+    },
+    /// Spiking fully-connected layer: linear → LIF.
+    Linear {
+        /// Layer name (e.g. `FC1`, `FC_OUT`).
+        name: String,
+        /// The linear weights.
+        linear: Linear,
+    },
+}
+
+impl Layer {
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Layer::Conv { name, .. } | Layer::Pool { name, .. } | Layer::Linear { name, .. } => name,
+        }
+    }
+
+    /// Whether this layer has trainable weights (conv or linear).
+    pub fn is_weight_layer(&self) -> bool {
+        !matches!(self, Layer::Pool { .. })
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        match self {
+            Layer::Conv { conv, bn, .. } => {
+                conv.num_params() + bn.as_ref().map_or(0, |b| 2 * b.channels())
+            }
+            Layer::Linear { linear, .. } => linear.num_params(),
+            Layer::Pool { .. } => 0,
+        }
+    }
+}
+
+/// Static geometry of one weight layer, used by the accelerator's workload
+/// model and resource allocator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerGeometry {
+    /// Layer name (paper nomenclature).
+    pub name: String,
+    /// `true` for convolutions, `false` for fully-connected layers.
+    pub is_conv: bool,
+    /// Input channels (conv) or input features (FC).
+    pub in_channels: usize,
+    /// Output channels (conv) or output features (FC).
+    pub out_channels: usize,
+    /// Input feature-map height (1 for FC).
+    pub in_height: usize,
+    /// Input feature-map width (1 for FC).
+    pub in_width: usize,
+    /// Output feature-map height (1 for FC).
+    pub out_height: usize,
+    /// Output feature-map width (1 for FC).
+    pub out_width: usize,
+    /// Square kernel size (1 for FC).
+    pub kernel: usize,
+    /// Number of weights (excluding bias).
+    pub weight_count: usize,
+}
+
+impl LayerGeometry {
+    /// Number of filter coefficients contributing to one output neuron
+    /// (`F` in Eq. 3): `in_channels * k * k` for conv, `in_features` for FC.
+    pub fn coefficients_per_output(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Number of output neurons (`C_out * H_out * W_out`).
+    pub fn output_neurons(&self) -> usize {
+        self.out_channels * self.out_height * self.out_width
+    }
+}
+
+/// Per-layer trace of one inference run: spike counts per timestep and the
+/// binary output volumes needed by the event-driven simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTrace {
+    /// Layer name.
+    pub name: String,
+    /// Geometry of the layer (only present for weight layers).
+    pub geometry: Option<LayerGeometry>,
+    /// Non-zero input events entering this layer at each timestep. For the
+    /// direct-coded input layer these are analog pixels, for every other
+    /// layer they are binary spikes.
+    pub input_events: Vec<u64>,
+    /// Output spikes leaving this layer at each timestep.
+    pub output_spikes: Vec<u64>,
+    /// Number of output neurons.
+    pub output_neurons: u64,
+    /// Binary output spike volume (timestep-major), present for weight layers.
+    pub spikes: Option<SpikeVolume>,
+}
+
+impl LayerTrace {
+    /// Total input events across timesteps.
+    pub fn total_input_events(&self) -> u64 {
+        self.input_events.iter().sum()
+    }
+
+    /// Total output spikes across timesteps.
+    pub fn total_output_spikes(&self) -> u64 {
+        self.output_spikes.iter().sum()
+    }
+}
+
+/// Result of one inference run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutput {
+    /// Per-class scores (total spike count of each class's population group).
+    pub logits: Vec<f32>,
+    /// Index of the predicted class.
+    pub prediction: usize,
+    /// Per-layer spike record (summed over timesteps).
+    pub record: SpikeRecord,
+    /// Detailed per-layer traces.
+    pub traces: Vec<LayerTrace>,
+    /// Number of timesteps simulated.
+    pub timesteps: usize,
+}
+
+/// A feed-forward spiking network: a sequence of [`Layer`]s, each weight layer
+/// followed by a shared-parameter LIF population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnnNetwork {
+    layers: Vec<Layer>,
+    lif: LifParams,
+    input_shape: [usize; 3],
+    num_classes: usize,
+    population: usize,
+}
+
+impl SnnNetwork {
+    /// Creates a network from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if the population size is not a
+    /// positive multiple of the class count, or the layer list is empty or
+    /// does not end in a linear layer of `population` outputs.
+    pub fn new(
+        layers: Vec<Layer>,
+        lif: LifParams,
+        input_shape: [usize; 3],
+        num_classes: usize,
+        population: usize,
+    ) -> Result<Self, SnnError> {
+        if num_classes == 0 || population == 0 || population % num_classes != 0 {
+            return Err(SnnError::config(
+                "population",
+                "population must be a positive multiple of the class count",
+            ));
+        }
+        match layers.last() {
+            Some(Layer::Linear { linear, .. }) if linear.out_features() == population => {}
+            _ => {
+                return Err(SnnError::config(
+                    "layers",
+                    "network must end in a linear layer with `population` outputs",
+                ))
+            }
+        }
+        Ok(SnnNetwork {
+            layers,
+            lif,
+            input_shape,
+            num_classes,
+            population,
+        })
+    }
+
+    /// The layer sequence.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer sequence (used by the trainer).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// The shared LIF hyper-parameters.
+    pub fn lif_params(&self) -> LifParams {
+        self.lif
+    }
+
+    /// Expected input shape `[C, H, W]`.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input_shape
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Size of the output population layer.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Layer::num_params).sum()
+    }
+
+    /// Geometry of every weight layer, in network order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the layer shapes are inconsistent.
+    pub fn geometry(&self) -> Result<Vec<LayerGeometry>, SnnError> {
+        let mut shape = self.input_shape;
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv { name, conv, .. } => {
+                    let out_shape = conv.output_shape(&shape)?;
+                    out.push(LayerGeometry {
+                        name: name.clone(),
+                        is_conv: true,
+                        in_channels: conv.in_channels(),
+                        out_channels: conv.out_channels(),
+                        in_height: shape[1],
+                        in_width: shape[2],
+                        out_height: out_shape[1],
+                        out_width: out_shape[2],
+                        kernel: conv.kernel(),
+                        weight_count: conv.weight().len(),
+                    });
+                    shape = out_shape;
+                }
+                Layer::Pool { pool, .. } => {
+                    shape = pool.output_shape(&shape)?;
+                }
+                Layer::Linear { name, linear, .. } => {
+                    out.push(LayerGeometry {
+                        name: name.clone(),
+                        is_conv: false,
+                        in_channels: linear.in_features(),
+                        out_channels: linear.out_features(),
+                        in_height: 1,
+                        in_width: 1,
+                        out_height: 1,
+                        out_width: 1,
+                        kernel: 1,
+                        weight_count: linear.weight().len(),
+                    });
+                    shape = [linear.out_features(), 1, 1];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Replaces every conv/linear layer's weights with their fake-quantized
+    /// version at `precision` (a no-op for [`Precision::Fp32`]). This is how a
+    /// QAT-trained model is materialised for quantized inference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures.
+    pub fn apply_precision(&mut self, precision: Precision) -> Result<(), SnnError> {
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Conv { conv, .. } => *conv = conv.to_precision(precision)?,
+                Layer::Linear { linear, .. } => *linear = linear.to_precision(precision)?,
+                Layer::Pool { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds every batch-norm layer into its preceding convolution and
+    /// removes it, producing the inference-time network the hardware runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates folding failures.
+    pub fn fold_batchnorm(&mut self) -> Result<(), SnnError> {
+        for layer in &mut self.layers {
+            if let Layer::Conv { conv, bn, .. } = layer {
+                if let Some(b) = bn.take() {
+                    *conv = b.fold_into_conv(conv)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs inference on one image with the given encoder, collecting
+    /// per-layer spike traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if the image does not match the network's input
+    /// shape, or any layer-level error encountered during the forward pass.
+    pub fn run(&mut self, image: &Tensor, encoder: &Encoder) -> Result<RunOutput, SnnError> {
+        self.run_seeded(image, encoder, 0)
+    }
+
+    /// Like [`SnnNetwork::run`] but with an explicit seed for the (stochastic)
+    /// rate encoder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SnnNetwork::run`].
+    pub fn run_seeded(
+        &mut self,
+        image: &Tensor,
+        encoder: &Encoder,
+        seed: u64,
+    ) -> Result<RunOutput, SnnError> {
+        if image.shape() != self.input_shape {
+            return Err(SnnError::shape(
+                &self.input_shape,
+                image.shape(),
+                "SnnNetwork::run input image",
+            ));
+        }
+        let frames = encoder.encode(image, seed)?;
+        let timesteps = frames.len();
+        let geometry = self.geometry()?;
+
+        // Per-weight-layer LIF state.
+        let mut lif_states: Vec<Option<LifPopulation>> = vec![None; self.layers.len()];
+        // Per-layer accumulators.
+        let mut input_events: Vec<Vec<u64>> = vec![vec![0; timesteps]; self.layers.len()];
+        let mut output_spikes: Vec<Vec<u64>> = vec![vec![0; timesteps]; self.layers.len()];
+        let mut output_neurons: Vec<u64> = vec![0; self.layers.len()];
+        let mut spike_frames: Vec<Vec<Tensor>> = vec![Vec::new(); self.layers.len()];
+        let mut class_scores = vec![0.0_f32; self.num_classes];
+        let group = self.population / self.num_classes;
+
+        for (t, frame) in frames.iter().enumerate() {
+            let mut x = frame.clone();
+            for (li, layer) in self.layers.iter().enumerate() {
+                input_events[li][t] = x.count_nonzero() as u64;
+                match layer {
+                    Layer::Conv { conv, bn, .. } => {
+                        let mut current = conv.forward(&x)?;
+                        if let Some(b) = bn {
+                            current = b.forward(&current)?;
+                        }
+                        let state = lif_states[li]
+                            .get_or_insert_with(|| LifPopulation::new(current.len(), self.lif));
+                        let spikes = state.step_tensor(&current)?;
+                        output_spikes[li][t] = spikes.count_nonzero() as u64;
+                        output_neurons[li] = spikes.len() as u64;
+                        spike_frames[li].push(spikes.clone());
+                        x = spikes;
+                    }
+                    Layer::Pool { pool, .. } => {
+                        let pooled = pool.forward(&x)?;
+                        output_spikes[li][t] = pooled.count_nonzero() as u64;
+                        output_neurons[li] = pooled.len() as u64;
+                        x = pooled;
+                    }
+                    Layer::Linear { linear, .. } => {
+                        let current = linear.forward(&x)?;
+                        let state = lif_states[li]
+                            .get_or_insert_with(|| LifPopulation::new(current.len(), self.lif));
+                        let spikes = state.step_tensor(&current)?;
+                        output_spikes[li][t] = spikes.count_nonzero() as u64;
+                        output_neurons[li] = spikes.len() as u64;
+                        x = spikes;
+                    }
+                }
+            }
+            // Population readout: accumulate output-layer spikes per class.
+            let out = x.as_slice();
+            for (class, score) in class_scores.iter_mut().enumerate() {
+                let start = class * group;
+                let end = start + group;
+                *score += out[start..end.min(out.len())].iter().sum::<f32>();
+            }
+        }
+
+        // Assemble the record and traces.
+        let mut record = SpikeRecord::new(timesteps);
+        let mut traces = Vec::with_capacity(self.layers.len());
+        let mut geo_iter = geometry.into_iter();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let geo = if layer.is_weight_layer() {
+                geo_iter.next()
+            } else {
+                None
+            };
+            record.push_layer(
+                layer.name(),
+                input_events[li].iter().sum(),
+                output_spikes[li].iter().sum(),
+                output_neurons[li],
+            );
+            let spikes = match (layer, geo.as_ref()) {
+                (Layer::Conv { .. }, Some(g)) => Some(SpikeVolume::from_activations(
+                    &spike_frames[li],
+                    g.out_channels,
+                    g.out_height,
+                    g.out_width,
+                )?),
+                _ => None,
+            };
+            traces.push(LayerTrace {
+                name: layer.name().to_string(),
+                geometry: geo,
+                input_events: input_events[li].clone(),
+                output_spikes: output_spikes[li].clone(),
+                output_neurons: output_neurons[li],
+                spikes,
+            });
+        }
+
+        let prediction = class_scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Ok(RunOutput {
+            logits: class_scores,
+            prediction,
+            record,
+            traces,
+            timesteps,
+        })
+    }
+}
+
+/// Configuration of the paper's VGG9 model (or a scaled-down variant).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vgg9Config {
+    /// Human-readable dataset / model name.
+    pub name: String,
+    /// Input channels (3 for RGB images).
+    pub in_channels: usize,
+    /// Square input image size (32 for the paper's datasets).
+    pub image_size: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Output population size `P` (must be a multiple of `num_classes`).
+    pub population: usize,
+    /// Output channels of the seven convolution layers.
+    pub conv_channels: [usize; 7],
+    /// Hidden FC layer width (1064 in the paper).
+    pub fc_hidden: usize,
+    /// Random seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Vgg9Config {
+    /// Paper-scale configuration for CIFAR-10 (`P = 1000`).
+    pub fn cifar10() -> Self {
+        Vgg9Config {
+            name: "cifar10".to_string(),
+            in_channels: 3,
+            image_size: 32,
+            num_classes: 10,
+            population: 1000,
+            conv_channels: [64, 112, 192, 216, 480, 504, 560],
+            fc_hidden: 1064,
+            seed: 10,
+        }
+    }
+
+    /// Paper-scale configuration for CIFAR-100 (`P = 5000`).
+    pub fn cifar100() -> Self {
+        Vgg9Config {
+            name: "cifar100".to_string(),
+            num_classes: 100,
+            population: 5000,
+            seed: 100,
+            ..Vgg9Config::cifar10()
+        }
+    }
+
+    /// Paper-scale configuration for SVHN (`P = 1000`).
+    pub fn svhn() -> Self {
+        Vgg9Config {
+            name: "svhn".to_string(),
+            seed: 37,
+            ..Vgg9Config::cifar10()
+        }
+    }
+
+    /// A scaled-down CIFAR-10-like configuration for unit tests, doc tests and
+    /// quick training runs (16×16 inputs, narrow layers, 10 classes).
+    pub fn cifar10_small() -> Self {
+        Vgg9Config {
+            name: "cifar10-small".to_string(),
+            in_channels: 3,
+            image_size: 16,
+            num_classes: 10,
+            population: 40,
+            conv_channels: [8, 8, 16, 16, 24, 24, 32],
+            fc_hidden: 64,
+            seed: 7,
+        }
+    }
+
+    /// A scaled-down CIFAR-100-like configuration (100 classes).
+    pub fn cifar100_small() -> Self {
+        Vgg9Config {
+            name: "cifar100-small".to_string(),
+            num_classes: 100,
+            population: 200,
+            seed: 70,
+            ..Vgg9Config::cifar10_small()
+        }
+    }
+
+    /// A scaled-down SVHN-like configuration.
+    pub fn svhn_small() -> Self {
+        Vgg9Config {
+            name: "svhn-small".to_string(),
+            seed: 77,
+            ..Vgg9Config::cifar10_small()
+        }
+    }
+
+    /// Layer names in the paper's nomenclature, index-aligned with the nine
+    /// weight layers of the VGG9 network.
+    pub fn layer_names() -> [&'static str; 9] {
+        [
+            "CONV1_1", "CONV1_2", "CONV2_1", "CONV2_2", "CONV3_1", "CONV3_2", "CONV3_3", "FC1",
+            "FC_OUT",
+        ]
+    }
+}
+
+/// Builds the VGG9 network described by `cfg` with Kaiming-initialised
+/// weights, batch normalisation after every convolution and the paper's LIF
+/// hyper-parameters.
+///
+/// # Errors
+///
+/// Returns configuration errors if the geometry is inconsistent (e.g. the
+/// image is too small for three pooling stages).
+pub fn vgg9(cfg: &Vgg9Config) -> Result<SnnNetwork, SnnError> {
+    vgg9_with_lif(cfg, LifParams::paper_default())
+}
+
+/// Like [`vgg9`] but with explicit LIF hyper-parameters.
+///
+/// # Errors
+///
+/// Same as [`vgg9`].
+pub fn vgg9_with_lif(cfg: &Vgg9Config, lif: LifParams) -> Result<SnnNetwork, SnnError> {
+    if cfg.image_size % 8 != 0 {
+        return Err(SnnError::config(
+            "image_size",
+            "image size must be divisible by 8 (three 2x2 pooling stages)",
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let names = Vgg9Config::layer_names();
+    let c = cfg.conv_channels;
+    let mut layers = Vec::new();
+    let mut in_c = cfg.in_channels;
+    // Block 1: CONV1_1, CONV1_2, MP.
+    for (i, &out_c) in c.iter().enumerate() {
+        let conv = Conv2d::with_kaiming_init(in_c, out_c, 3, 1, 1, &mut rng)?;
+        layers.push(Layer::Conv {
+            name: names[i].to_string(),
+            conv,
+            bn: Some(BatchNorm2d::new(out_c)?),
+        });
+        in_c = out_c;
+        // Pool after CONV1_2 (index 1), CONV2_2 (index 3), CONV3_3 (index 6).
+        if i == 1 || i == 3 || i == 6 {
+            layers.push(Layer::Pool {
+                name: format!("MP{}", [1, 0, 2, 0, 0, 0, 3][i.min(6)]),
+                pool: SpikeMaxPool2d::new(2)?,
+            });
+        }
+    }
+    let final_map = cfg.image_size / 8;
+    let flat = c[6] * final_map * final_map;
+    layers.push(Layer::Linear {
+        name: names[7].to_string(),
+        linear: Linear::with_kaiming_init(flat, cfg.fc_hidden, &mut rng)?,
+    });
+    layers.push(Layer::Linear {
+        name: names[8].to_string(),
+        linear: Linear::with_kaiming_init(cfg.fc_hidden, cfg.population, &mut rng)?,
+    });
+    SnnNetwork::new(
+        layers,
+        lif,
+        [cfg.in_channels, cfg.image_size, cfg.image_size],
+        cfg.num_classes,
+        cfg.population,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoder;
+
+    #[test]
+    fn vgg9_small_builds_with_nine_weight_layers() {
+        let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let weight_layers = net.layers().iter().filter(|l| l.is_weight_layer()).count();
+        assert_eq!(weight_layers, 9);
+        let pools = net.layers().iter().filter(|l| !l.is_weight_layer()).count();
+        assert_eq!(pools, 3);
+        assert!(net.num_params() > 0);
+    }
+
+    #[test]
+    fn vgg9_paper_scale_geometry_matches_structure_string() {
+        let net = vgg9(&Vgg9Config::cifar10()).unwrap();
+        let geo = net.geometry().unwrap();
+        assert_eq!(geo.len(), 9);
+        assert_eq!(geo[0].out_channels, 64);
+        assert_eq!(geo[1].out_channels, 112);
+        assert_eq!(geo[6].out_channels, 560);
+        // After three MP2 stages the 32x32 map is 4x4.
+        assert_eq!(geo[6].out_height, 8);
+        assert_eq!(geo[7].in_channels, 560 * 4 * 4);
+        assert_eq!(geo[7].out_channels, 1064);
+        assert_eq!(geo[8].out_channels, 1000);
+        // CONV1_1 sees the full-resolution input.
+        assert_eq!(geo[0].in_height, 32);
+        assert_eq!(geo[0].coefficients_per_output(), 27);
+    }
+
+    #[test]
+    fn vgg9_rejects_bad_image_size() {
+        let mut cfg = Vgg9Config::cifar10_small();
+        cfg.image_size = 20;
+        assert!(vgg9(&cfg).is_err());
+    }
+
+    #[test]
+    fn network_new_validates_population() {
+        let cfg = Vgg9Config::cifar10_small();
+        let net = vgg9(&cfg).unwrap();
+        // Rebuild with a bad population.
+        let layers = net.layers().to_vec();
+        assert!(SnnNetwork::new(layers.clone(), LifParams::default(), [3, 16, 16], 10, 0).is_err());
+        assert!(SnnNetwork::new(layers.clone(), LifParams::default(), [3, 16, 16], 10, 41).is_err());
+        assert!(SnnNetwork::new(layers, LifParams::default(), [3, 16, 16], 10, 40).is_ok());
+    }
+
+    #[test]
+    fn run_direct_coding_produces_traces_for_every_layer() {
+        let cfg = Vgg9Config::cifar10_small();
+        let mut net = vgg9(&cfg).unwrap();
+        let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.017).sin().abs());
+        let out = net.run(&image, &Encoder::direct(2)).unwrap();
+        assert_eq!(out.logits.len(), 10);
+        assert_eq!(out.timesteps, 2);
+        assert_eq!(out.traces.len(), net.layers().len());
+        assert_eq!(out.record.num_layers(), net.layers().len());
+        // The direct-coded input layer sees analog inputs at every timestep.
+        assert_eq!(
+            out.traces[0].input_events.len(),
+            2,
+        );
+        assert!(out.traces[0].total_input_events() > 0);
+        // Conv layers carry spike volumes.
+        assert!(out.traces[0].spikes.is_some());
+        assert!(out.prediction < 10);
+    }
+
+    #[test]
+    fn run_rejects_wrong_image_shape() {
+        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let image = Tensor::zeros(&[3, 32, 32]);
+        assert!(net.run(&image, &Encoder::direct(2)).is_err());
+    }
+
+    #[test]
+    fn rate_coding_run_is_binary_at_input() {
+        let cfg = Vgg9Config::cifar10_small();
+        let mut net = vgg9(&cfg).unwrap();
+        let image = Tensor::full(&[3, 16, 16], 0.5);
+        let out = net.run_seeded(&image, &Encoder::rate(3), 5).unwrap();
+        assert_eq!(out.timesteps, 3);
+        // Input events at the first layer are bounded by the number of pixels.
+        for &e in &out.traces[0].input_events {
+            assert!(e <= 3 * 16 * 16);
+        }
+    }
+
+    #[test]
+    fn apply_precision_changes_weights_and_stays_runnable() {
+        let cfg = Vgg9Config::cifar10_small();
+        let mut net = vgg9(&cfg).unwrap();
+        let before = match &net.layers()[0] {
+            Layer::Conv { conv, .. } => conv.weight().clone(),
+            _ => unreachable!(),
+        };
+        net.apply_precision(Precision::Int4).unwrap();
+        let after = match &net.layers()[0] {
+            Layer::Conv { conv, .. } => conv.weight().clone(),
+            _ => unreachable!(),
+        };
+        assert_ne!(before, after);
+        let image = Tensor::full(&[3, 16, 16], 0.4);
+        assert!(net.run(&image, &Encoder::direct(2)).is_ok());
+    }
+
+    #[test]
+    fn fold_batchnorm_removes_bn_and_preserves_geometry() {
+        let cfg = Vgg9Config::cifar10_small();
+        let mut net = vgg9(&cfg).unwrap();
+        net.fold_batchnorm().unwrap();
+        for layer in net.layers() {
+            if let Layer::Conv { bn, .. } = layer {
+                assert!(bn.is_none());
+            }
+        }
+        assert_eq!(net.geometry().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn layer_names_match_table_i() {
+        let names = Vgg9Config::layer_names();
+        assert_eq!(names[0], "CONV1_1");
+        assert_eq!(names[6], "CONV3_3");
+        assert_eq!(names[7], "FC1");
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn more_timesteps_never_reduce_total_spikes() {
+        let cfg = Vgg9Config::cifar10_small();
+        let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.031).cos().abs());
+        let mut net_a = vgg9(&cfg).unwrap();
+        let mut net_b = vgg9(&cfg).unwrap();
+        let short = net_a.run(&image, &Encoder::direct(1)).unwrap();
+        let long = net_b.run(&image, &Encoder::direct(3)).unwrap();
+        assert!(long.record.total_spikes() >= short.record.total_spikes());
+    }
+}

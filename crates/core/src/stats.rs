@@ -1,0 +1,287 @@
+//! Sparsity statistics and the layer-wise workload model (Eq. 3).
+//!
+//! The paper sizes its heterogeneous hardware from a per-layer workload model
+//! derived from an empirical run of the trained network:
+//!
+//! ```text
+//! W_CONV = F × C_out × Σ_i S_i          (Eq. 3)
+//! W_FC   = N × S
+//! ```
+//!
+//! where `F` is the number of filter coefficients per input channel position
+//! (9 for 3×3 kernels), `C_out` the number of output channels, `S_i` the
+//! number of spikes arriving from input feature map `i`, `N` the number of FC
+//! output neurons and `S` the total number of input spikes. This module
+//! computes those workloads from a [`LayerTrace`](crate::network::LayerTrace)
+//! collection and offers the quantization-vs-sparsity comparisons used in
+//! Fig. 1.
+
+use crate::network::LayerTrace;
+use crate::spike::SpikeRecord;
+use serde::{Deserialize, Serialize};
+
+/// Workload of one weight layer as defined by Eq. 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerWorkload {
+    /// Layer name.
+    pub name: String,
+    /// `true` for convolution layers.
+    pub is_conv: bool,
+    /// Filter coefficients per spike event (`F` for conv, fan-out for FC).
+    pub coefficients: u64,
+    /// Output channels (conv) or output neurons (FC).
+    pub out_channels: u64,
+    /// Total input spikes / events across all timesteps (`Σ S_i`).
+    pub input_events: u64,
+    /// The resulting workload in accumulate operations.
+    pub operations: u64,
+}
+
+/// Computes the Eq. 3 workload of every weight layer from its run trace.
+///
+/// Layers without geometry (pooling) are skipped, matching the paper which
+/// implements pooling as a free OR over spikes.
+pub fn layer_workloads(traces: &[LayerTrace]) -> Vec<LayerWorkload> {
+    traces
+        .iter()
+        .filter_map(|trace| {
+            let geo = trace.geometry.as_ref()?;
+            let input_events = trace.total_input_events();
+            let (coefficients, operations) = if geo.is_conv {
+                // Each input spike updates kernel×kernel neurons in each of the
+                // C_out output feature maps.
+                let f = (geo.kernel * geo.kernel) as u64;
+                (f, f * geo.out_channels as u64 * input_events)
+            } else {
+                let n = geo.out_channels as u64;
+                (n, n * input_events)
+            };
+            Some(LayerWorkload {
+                name: trace.name.clone(),
+                is_conv: geo.is_conv,
+                coefficients,
+                out_channels: geo.out_channels as u64,
+                input_events,
+                operations,
+            })
+        })
+        .collect()
+}
+
+/// Total workload (sum of per-layer operations).
+pub fn total_workload(workloads: &[LayerWorkload]) -> u64 {
+    workloads.iter().map(|w| w.operations).sum()
+}
+
+/// Comparison of the spiking activity of two runs of the same network, used
+/// to quantify the quantization-sparsity interplay of Fig. 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparsityComparison {
+    /// Name of the baseline run (e.g. `fp32`).
+    pub baseline_name: String,
+    /// Name of the comparison run (e.g. `int4`).
+    pub variant_name: String,
+    /// Total spikes in the baseline run.
+    pub baseline_spikes: u64,
+    /// Total spikes in the comparison run.
+    pub variant_spikes: u64,
+    /// Per-layer spike counts of the baseline run.
+    pub baseline_per_layer: Vec<u64>,
+    /// Per-layer spike counts of the comparison run.
+    pub variant_per_layer: Vec<u64>,
+    /// Layer names.
+    pub layer_names: Vec<String>,
+}
+
+impl SparsityComparison {
+    /// Builds a comparison from two spike records of the same network.
+    pub fn new(
+        baseline_name: impl Into<String>,
+        baseline: &SpikeRecord,
+        variant_name: impl Into<String>,
+        variant: &SpikeRecord,
+    ) -> Self {
+        SparsityComparison {
+            baseline_name: baseline_name.into(),
+            variant_name: variant_name.into(),
+            baseline_spikes: baseline.total_spikes(),
+            variant_spikes: variant.total_spikes(),
+            baseline_per_layer: baseline.output_spikes.clone(),
+            variant_per_layer: variant.output_spikes.clone(),
+            layer_names: baseline.layer_names.clone(),
+        }
+    }
+
+    /// Relative spike reduction of the variant vs. the baseline, in percent.
+    /// Positive values mean the variant spikes *less* (the paper reports
+    /// 6.1% / 10.1% / 15.2% for int4 vs fp32).
+    pub fn spike_reduction_percent(&self) -> f64 {
+        if self.baseline_spikes == 0 {
+            return 0.0;
+        }
+        (1.0 - self.variant_spikes as f64 / self.baseline_spikes as f64) * 100.0
+    }
+
+    /// Ratio of baseline to variant spikes (> 1 when the variant is sparser).
+    pub fn spike_ratio(&self) -> f64 {
+        if self.variant_spikes == 0 {
+            return f64::INFINITY;
+        }
+        self.baseline_spikes as f64 / self.variant_spikes as f64
+    }
+}
+
+/// Aggregated spike statistics over a set of inference runs (e.g. a test set),
+/// as used to produce the Fig. 1 bars.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AggregateSpikeStats {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Total spikes summed over runs.
+    pub total_spikes: u64,
+    /// Per-layer totals (index-aligned with `layer_names`).
+    pub per_layer_spikes: Vec<u64>,
+    /// Layer names.
+    pub layer_names: Vec<String>,
+    /// Number of correct predictions (for accuracy).
+    pub correct: usize,
+}
+
+impl AggregateSpikeStats {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one run's record into the aggregate.
+    pub fn add_run(&mut self, record: &SpikeRecord, correct: bool) {
+        if self.layer_names.is_empty() {
+            self.layer_names = record.layer_names.clone();
+            self.per_layer_spikes = vec![0; record.num_layers()];
+        }
+        for (acc, &s) in self.per_layer_spikes.iter_mut().zip(record.output_spikes.iter()) {
+            *acc += s;
+        }
+        self.total_spikes += record.total_spikes();
+        self.runs += 1;
+        if correct {
+            self.correct += 1;
+        }
+    }
+
+    /// Mean spikes per run.
+    pub fn mean_spikes_per_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.total_spikes as f64 / self.runs as f64
+        }
+    }
+
+    /// Classification accuracy over the aggregated runs, in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.runs as f64
+        }
+    }
+
+    /// Mean per-layer spikes per run.
+    pub fn mean_per_layer(&self) -> Vec<f64> {
+        self.per_layer_spikes
+            .iter()
+            .map(|&s| {
+                if self.runs == 0 {
+                    0.0
+                } else {
+                    s as f64 / self.runs as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoder;
+    use crate::network::{vgg9, Vgg9Config};
+    use crate::tensor::Tensor;
+
+    fn sample_traces() -> Vec<LayerTrace> {
+        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.05).sin().abs());
+        net.run(&image, &Encoder::direct(2)).unwrap().traces
+    }
+
+    #[test]
+    fn workloads_cover_all_weight_layers() {
+        let traces = sample_traces();
+        let w = layer_workloads(&traces);
+        assert_eq!(w.len(), 9);
+        assert!(w.iter().take(7).all(|l| l.is_conv));
+        assert!(w.iter().skip(7).all(|l| !l.is_conv));
+    }
+
+    #[test]
+    fn conv_workload_follows_eq3() {
+        let traces = sample_traces();
+        let w = layer_workloads(&traces);
+        for lw in w.iter().filter(|l| l.is_conv) {
+            assert_eq!(lw.operations, lw.coefficients * lw.out_channels * lw.input_events);
+            assert_eq!(lw.coefficients, 9);
+        }
+    }
+
+    #[test]
+    fn fc_workload_follows_eq3() {
+        let traces = sample_traces();
+        let w = layer_workloads(&traces);
+        for lw in w.iter().filter(|l| !l.is_conv) {
+            assert_eq!(lw.operations, lw.out_channels * lw.input_events);
+        }
+    }
+
+    #[test]
+    fn total_workload_is_sum() {
+        let traces = sample_traces();
+        let w = layer_workloads(&traces);
+        assert_eq!(total_workload(&w), w.iter().map(|l| l.operations).sum::<u64>());
+    }
+
+    #[test]
+    fn sparsity_comparison_reports_reduction() {
+        let mut base = SpikeRecord::new(2);
+        base.push_layer("l1", 0, 1000, 2048);
+        base.push_layer("l2", 0, 500, 1024);
+        let mut variant = SpikeRecord::new(2);
+        variant.push_layer("l1", 0, 850, 2048);
+        variant.push_layer("l2", 0, 425, 1024);
+        let cmp = SparsityComparison::new("fp32", &base, "int4", &variant);
+        assert!((cmp.spike_reduction_percent() - 15.0).abs() < 1e-9);
+        assert!((cmp.spike_ratio() - 1500.0 / 1275.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparsity_comparison_handles_zero_baseline() {
+        let base = SpikeRecord::new(1);
+        let variant = SpikeRecord::new(1);
+        let cmp = SparsityComparison::new("a", &base, "b", &variant);
+        assert_eq!(cmp.spike_reduction_percent(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_accumulates_runs_and_accuracy() {
+        let mut agg = AggregateSpikeStats::new();
+        let mut rec = SpikeRecord::new(2);
+        rec.push_layer("l1", 0, 100, 256);
+        agg.add_run(&rec, true);
+        agg.add_run(&rec, false);
+        assert_eq!(agg.runs, 2);
+        assert_eq!(agg.total_spikes, 200);
+        assert_eq!(agg.accuracy(), 0.5);
+        assert_eq!(agg.mean_spikes_per_run(), 100.0);
+        assert_eq!(agg.mean_per_layer(), vec![100.0]);
+    }
+}

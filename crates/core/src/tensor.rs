@@ -1,0 +1,736 @@
+//! A small dense tensor type used throughout the SNN substrate.
+//!
+//! The accelerator simulator and the training substrate only ever need
+//! contiguous `f32` tensors in CHW / NCHW layout, so [`Tensor`] deliberately
+//! stays simple: a flat `Vec<f32>` plus a shape vector with row-major strides.
+//! Convolution layers use the [`Tensor::im2col`] helper so that both the
+//! forward and backward passes reduce to matrix multiplications.
+
+use crate::error::SnnError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Dense row-major `f32` tensor with an arbitrary number of dimensions.
+///
+/// # Example
+///
+/// ```
+/// use snn_core::tensor::Tensor;
+///
+/// # fn main() -> Result<(), snn_core::SnnError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(t.get(&[1, 2])?, 6.0);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![1.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from a flat vector and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the vector length does not equal
+    /// the product of the shape dimensions.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, SnnError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(SnnError::shape(
+                &[expected],
+                &[data.len()],
+                "Tensor::from_vec data length",
+            ));
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let len: usize = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: (0..len).map(&mut f).collect(),
+        }
+    }
+
+    /// Shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Immutable view of the underlying data in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the flat data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row-major strides for the current shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.shape.len()];
+        for i in (0..self.shape.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.shape[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::IndexOutOfBounds`] if the index rank or any
+    /// component is out of range.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, SnnError> {
+        if index.len() != self.shape.len() {
+            return Err(SnnError::shape(
+                &self.shape,
+                index,
+                "Tensor::offset index rank",
+            ));
+        }
+        let mut off = 0;
+        let strides = self.strides();
+        for (dim, (&i, (&s, &stride))) in index
+            .iter()
+            .zip(self.shape.iter().zip(strides.iter()))
+            .enumerate()
+        {
+            if i >= s {
+                return Err(SnnError::index(i, s, format!("tensor dimension {dim}")));
+            }
+            off += i * stride;
+        }
+        Ok(off)
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::IndexOutOfBounds`] if the index is invalid.
+    pub fn get(&self, index: &[usize]) -> Result<f32, SnnError> {
+        Ok(self.data[self.offset(index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::IndexOutOfBounds`] if the index is invalid.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), SnnError> {
+        let off = self.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, SnnError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(SnnError::shape(shape, &self.shape, "Tensor::reshape"));
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        })
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise binary operation with another tensor of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, SnnError> {
+        if self.shape != other.shape {
+            return Err(SnnError::shape(&self.shape, &other.shape, "Tensor::zip_map"));
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for the empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for the empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for the empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element (ties resolved to the first occurrence).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_val = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_val {
+                best_val = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Number of non-zero elements.
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&x| x != 0.0).count()
+    }
+
+    /// Fraction of elements equal to zero; 0.0 for an empty tensor.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.count_nonzero() as f64 / self.data.len() as f64
+    }
+
+    /// Returns true if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Scales every element by `factor`.
+    pub fn scale(&self, factor: f32) -> Tensor {
+        self.map(|x| x * factor)
+    }
+
+    /// Frobenius norm of the tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Dot product between two tensors viewed as flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if lengths differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32, SnnError> {
+        if self.data.len() != other.data.len() {
+            return Err(SnnError::shape(
+                &[self.data.len()],
+                &[other.data.len()],
+                "Tensor::dot",
+            ));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Lowers a `[C, H, W]` input into an im2col matrix of shape
+    /// `[C * kh * kw, out_h * out_w]` for a convolution with the given kernel,
+    /// stride and (symmetric, zero) padding.
+    ///
+    /// Each column holds the receptive field of one output pixel, which turns
+    /// convolution into a single matrix multiplication with the flattened
+    /// filter bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the tensor is not 3-D, or
+    /// [`SnnError::InvalidConfig`] if the kernel does not fit the padded input.
+    pub fn im2col(
+        &self,
+        kernel: (usize, usize),
+        stride: usize,
+        padding: usize,
+    ) -> Result<Im2Col, SnnError> {
+        if self.shape.len() != 3 {
+            return Err(SnnError::shape(&[0, 0, 0], &self.shape, "Tensor::im2col"));
+        }
+        let (c, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (kh, kw) = kernel;
+        if stride == 0 {
+            return Err(SnnError::config("stride", "stride must be >= 1"));
+        }
+        let padded_h = h + 2 * padding;
+        let padded_w = w + 2 * padding;
+        if kh > padded_h || kw > padded_w {
+            return Err(SnnError::config(
+                "kernel",
+                format!("kernel {kh}x{kw} larger than padded input {padded_h}x{padded_w}"),
+            ));
+        }
+        let out_h = (padded_h - kh) / stride + 1;
+        let out_w = (padded_w - kw) / stride + 1;
+        let rows = c * kh * kw;
+        let cols = out_h * out_w;
+        let mut data = vec![0.0_f32; rows * cols];
+        for ci in 0..c {
+            let channel = &self.data[ci * h * w..(ci + 1) * h * w];
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = ci * kh * kw + ki * kw + kj;
+                    let row_base = row * cols;
+                    for oy in 0..out_h {
+                        let iy = (oy * stride + ki) as isize - padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let in_row = iy as usize * w;
+                        for ox in 0..out_w {
+                            let ix = (ox * stride + kj) as isize - padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            data[row_base + oy * out_w + ox] = channel[in_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Im2Col {
+            data,
+            rows,
+            cols,
+            out_h,
+            out_w,
+        })
+    }
+
+    /// Inverse of [`Tensor::im2col`]: scatters a `[C * kh * kw, out_h * out_w]`
+    /// matrix back into a `[C, H, W]` tensor, accumulating overlapping
+    /// contributions. Used by the convolution backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the column matrix dimensions do
+    /// not correspond to the requested output geometry.
+    pub fn col2im(
+        cols: &Im2Col,
+        channels: usize,
+        height: usize,
+        width: usize,
+        kernel: (usize, usize),
+        stride: usize,
+        padding: usize,
+    ) -> Result<Tensor, SnnError> {
+        let (kh, kw) = kernel;
+        if cols.rows != channels * kh * kw {
+            return Err(SnnError::shape(
+                &[channels * kh * kw],
+                &[cols.rows],
+                "Tensor::col2im rows",
+            ));
+        }
+        if cols.cols != cols.out_h * cols.out_w {
+            return Err(SnnError::shape(
+                &[cols.out_h * cols.out_w],
+                &[cols.cols],
+                "Tensor::col2im cols",
+            ));
+        }
+        let mut out = Tensor::zeros(&[channels, height, width]);
+        for ci in 0..channels {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = ci * kh * kw + ki * kw + kj;
+                    let row_base = row * cols.cols;
+                    for oy in 0..cols.out_h {
+                        let iy = (oy * stride + ki) as isize - padding as isize;
+                        if iy < 0 || iy >= height as isize {
+                            continue;
+                        }
+                        for ox in 0..cols.out_w {
+                            let ix = (ox * stride + kj) as isize - padding as isize;
+                            if ix < 0 || ix >= width as isize {
+                                continue;
+                            }
+                            let idx = ci * height * width + iy as usize * width + ix as usize;
+                            out.data[idx] += cols.data[row_base + oy * cols.out_w + ox];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor(shape={:?}, mean={:.4}, sparsity={:.3})",
+            self.shape,
+            self.mean(),
+            self.sparsity()
+        )
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+impl Add for &Tensor {
+    type Output = Tensor;
+
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a + b)
+            .expect("tensor shapes must match for addition")
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a - b)
+            .expect("tensor shapes must match for subtraction")
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(
+            self.shape, rhs.shape,
+            "tensor shapes must match for +=: {:?} vs {:?}",
+            self.shape, rhs.shape
+        );
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Result of an [`Tensor::im2col`] lowering.
+///
+/// The matrix is stored row-major with `rows = C * kh * kw` and
+/// `cols = out_h * out_w`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Im2Col {
+    /// Row-major matrix data.
+    pub data: Vec<f32>,
+    /// Number of rows (`C * kh * kw`).
+    pub rows: usize,
+    /// Number of columns (`out_h * out_w`).
+    pub cols: usize,
+    /// Output feature-map height.
+    pub out_h: usize,
+    /// Output feature-map width.
+    pub out_w: usize,
+}
+
+/// Multiplies an `[m, k]` row-major matrix by a `[k, n]` row-major matrix.
+///
+/// This is the single matmul primitive shared by the convolution and linear
+/// layers (forward and backward). It is deliberately a straightforward
+/// triple loop with the inner loop over `n` so the compiler can vectorise it.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "lhs matrix has wrong length");
+    assert_eq!(b.len(), k * n, "rhs matrix has wrong length");
+    let mut out = vec![0.0_f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pn) in b_row.iter().enumerate() {
+                out_row[o] += a_ip * b_pn;
+            }
+        }
+    }
+    out
+}
+
+/// Multiplies the transpose of an `[k, m]` row-major matrix by a `[k, n]`
+/// row-major matrix, producing `[m, n]`. Used in backward passes to avoid
+/// materialising explicit transposes.
+pub fn matmul_at_b(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), k * m, "lhs matrix has wrong length");
+    assert_eq!(b.len(), k * n, "rhs matrix has wrong length");
+    let mut out = vec![0.0_f32; m * n];
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pn) in b_row.iter().enumerate() {
+                out_row[o] += a_pi * b_pn;
+            }
+        }
+    }
+    out
+}
+
+/// Multiplies an `[m, k]` row-major matrix by the transpose of an `[n, k]`
+/// row-major matrix, producing `[m, n]`.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "lhs matrix has wrong length");
+    assert_eq!(b.len(), n * k, "rhs matrix has wrong length");
+    let mut out = vec![0.0_f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for o in 0..n {
+            let b_row = &b[o * k..(o + 1) * k];
+            let mut acc = 0.0_f32;
+            for p in 0..k {
+                acc += a_row[p] * b_row[p];
+            }
+            out[i * n + o] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_have_expected_contents() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert_eq!(z.sum(), 0.0);
+        let o = Tensor::ones(&[2, 3]);
+        assert_eq!(o.sum(), 6.0);
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 2, 2]);
+        t.set(&[1, 0, 1], 7.5).unwrap();
+        assert_eq!(t.get(&[1, 0, 1]).unwrap(), 7.5);
+        assert_eq!(t.get(&[0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn get_rejects_out_of_bounds() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(t.get(&[2, 0]).is_err());
+        assert!(t.get(&[0]).is_err());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn sparsity_counts_zeros() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 0.0, 2.0], &[4]).unwrap();
+        assert_eq!(t.count_nonzero(), 2);
+        assert!((t.sparsity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn argmax_finds_first_maximum() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 5.0, 2.0], &[4]).unwrap();
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn matmul_matches_manual_result() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let c = matmul(&a, &b, 2, 2, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose() {
+        // A is [k=3, m=2], B is [k=3, n=2].
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        // A^T = [1 3 5; 2 4 6]; A^T * B = [1*7+3*9+5*11, ...]
+        let c = matmul_at_b(&a, &b, 3, 2, 2);
+        assert_eq!(c, vec![89.0, 98.0, 116.0, 128.0]);
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose() {
+        // A is [m=2, k=3], B is [n=2, k=3].
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let c = matmul_a_bt(&a, &b, 2, 3, 2);
+        assert_eq!(c, vec![50.0, 68.0, 122.0, 167.0]);
+    }
+
+    #[test]
+    fn im2col_identity_kernel_reproduces_input() {
+        let t = Tensor::from_vec((0..9).map(|x| x as f32).collect(), &[1, 3, 3]).unwrap();
+        let cols = t.im2col((1, 1), 1, 0).unwrap();
+        assert_eq!(cols.rows, 1);
+        assert_eq!(cols.cols, 9);
+        assert_eq!(cols.data, t.as_slice());
+    }
+
+    #[test]
+    fn im2col_3x3_same_padding_geometry() {
+        let t = Tensor::ones(&[3, 32, 32]);
+        let cols = t.im2col((3, 3), 1, 1).unwrap();
+        assert_eq!(cols.rows, 3 * 9);
+        assert_eq!(cols.out_h, 32);
+        assert_eq!(cols.out_w, 32);
+    }
+
+    #[test]
+    fn im2col_rejects_non_3d() {
+        let t = Tensor::zeros(&[4, 4]);
+        assert!(t.im2col((3, 3), 1, 1).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col_for_counting() {
+        // col2im(im2col(x)) with an all-ones input counts how many receptive
+        // fields each pixel participates in.
+        let t = Tensor::ones(&[1, 4, 4]);
+        let cols = t.im2col((3, 3), 1, 1).unwrap();
+        let back = Tensor::col2im(&cols, 1, 4, 4, (3, 3), 1, 1).unwrap();
+        // The centre pixels participate in 9 receptive fields.
+        assert_eq!(back.get(&[0, 1, 1]).unwrap(), 9.0);
+        // Corner pixels participate in 4.
+        assert_eq!(back.get(&[0, 0, 0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn add_and_sub_operators() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!((&a + &b).as_slice(), &[4.0, 6.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(!format!("{t}").is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Simple image augmentations.
+//!
+//! The paper's training recipe (snnTorch on CIFAR/SVHN) uses standard light
+//! augmentation; this module provides the equivalents used by the trainer on
+//! the synthetic datasets: horizontal flip, small shifts with zero padding and
+//! additive pixel noise. All operations are deterministic given an `Rng`.
+
+use rand::Rng;
+use snn_core::tensor::Tensor;
+
+/// Horizontally flips a `[C, H, W]` image.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 3-dimensional.
+pub fn horizontal_flip(image: &Tensor) -> Tensor {
+    let shape = image.shape();
+    assert_eq!(shape.len(), 3, "horizontal_flip expects a [C, H, W] tensor");
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let src = image.as_slice();
+    let mut out = vec![0.0_f32; src.len()];
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                out[ci * h * w + y * w + x] = src[ci * h * w + y * w + (w - 1 - x)];
+            }
+        }
+    }
+    Tensor::from_vec(out, shape).expect("shape preserved")
+}
+
+/// Shifts a `[C, H, W]` image by `(dy, dx)` pixels, filling vacated pixels
+/// with zeros.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 3-dimensional.
+pub fn shift(image: &Tensor, dy: isize, dx: isize) -> Tensor {
+    let shape = image.shape();
+    assert_eq!(shape.len(), 3, "shift expects a [C, H, W] tensor");
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let src = image.as_slice();
+    let mut out = vec![0.0_f32; src.len()];
+    for ci in 0..c {
+        for y in 0..h {
+            let sy = y as isize - dy;
+            if sy < 0 || sy >= h as isize {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x as isize - dx;
+                if sx < 0 || sx >= w as isize {
+                    continue;
+                }
+                out[ci * h * w + y * w + x] = src[ci * h * w + sy as usize * w + sx as usize];
+            }
+        }
+    }
+    Tensor::from_vec(out, shape).expect("shape preserved")
+}
+
+/// Adds uniform noise in `[-amplitude, amplitude]` and clamps to `[0, 1]`.
+pub fn add_noise(image: &Tensor, amplitude: f32, rng: &mut impl Rng) -> Tensor {
+    let data: Vec<f32> = image
+        .as_slice()
+        .iter()
+        .map(|&v| (v + rng.gen_range(-amplitude..=amplitude)).clamp(0.0, 1.0))
+        .collect();
+    Tensor::from_vec(data, image.shape()).expect("shape preserved")
+}
+
+/// Applies a random combination of flip / shift / noise, the default light
+/// augmentation used when training on the synthetic datasets.
+pub fn random_augment(image: &Tensor, rng: &mut impl Rng) -> Tensor {
+    let mut out = if rng.gen_bool(0.5) {
+        horizontal_flip(image)
+    } else {
+        image.clone()
+    };
+    let dy = rng.gen_range(-2_isize..=2);
+    let dx = rng.gen_range(-2_isize..=2);
+    if dy != 0 || dx != 0 {
+        out = shift(&out, dy, dx);
+    }
+    add_noise(&out, 0.02, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn image() -> Tensor {
+        Tensor::from_fn(&[2, 4, 4], |i| (i as f32) / 32.0)
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let img = image();
+        assert_eq!(horizontal_flip(&horizontal_flip(&img)), img);
+    }
+
+    #[test]
+    fn flip_moves_left_column_to_right() {
+        let img = image();
+        let flipped = horizontal_flip(&img);
+        assert_eq!(flipped.get(&[0, 0, 3]).unwrap(), img.get(&[0, 0, 0]).unwrap());
+        assert_eq!(flipped.get(&[1, 2, 0]).unwrap(), img.get(&[1, 2, 3]).unwrap());
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let img = image();
+        assert_eq!(shift(&img, 0, 0), img);
+    }
+
+    #[test]
+    fn shift_fills_with_zeros() {
+        let img = Tensor::ones(&[1, 3, 3]);
+        let shifted = shift(&img, 1, 0);
+        // The first row is vacated.
+        assert_eq!(shifted.get(&[0, 0, 0]).unwrap(), 0.0);
+        assert_eq!(shifted.get(&[0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(shifted.count_nonzero(), 6);
+    }
+
+    #[test]
+    fn noise_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = add_noise(&Tensor::full(&[1, 8, 8], 0.98), 0.5, &mut rng);
+        assert!(noisy.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn random_augment_preserves_shape_and_is_seed_deterministic() {
+        let img = image();
+        let a = random_augment(&img, &mut StdRng::seed_from_u64(3));
+        let b = random_augment(&img, &mut StdRng::seed_from_u64(3));
+        let c = random_augment(&img, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a.shape(), img.shape());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        /// Shifting never creates pixel mass out of nothing: the sum of the
+        /// shifted image is bounded by the original sum.
+        #[test]
+        fn shift_never_increases_mass(dy in -3_isize..=3, dx in -3_isize..=3) {
+            let img = image();
+            let shifted = shift(&img, dy, dx);
+            prop_assert!(shifted.sum() <= img.sum() + 1e-5);
+        }
+
+        /// Flipping preserves the pixel sum exactly.
+        #[test]
+        fn flip_preserves_mass(seed in 0_u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let img = Tensor::from_fn(&[3, 6, 6], |_| rng.gen_range(0.0..1.0));
+            let flipped = horizontal_flip(&img);
+            prop_assert!((flipped.sum() - img.sum()).abs() < 1e-4);
+        }
+    }
+}

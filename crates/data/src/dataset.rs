@@ -1,0 +1,103 @@
+//! Dataset abstractions shared by the trainer and the experiment harnesses.
+
+use snn_core::tensor::Tensor;
+
+/// One labelled image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The image as a `[C, H, W]` tensor with values in `[0, 1]`.
+    pub image: Tensor,
+    /// The class label in `0..num_classes`.
+    pub label: usize,
+}
+
+/// Which split of a dataset to draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training split.
+    Train,
+    /// Held-out test split.
+    Test,
+}
+
+/// A supervised image-classification dataset.
+///
+/// The trait is object-safe so harnesses can hold `Box<dyn Dataset>` when
+/// sweeping over the three evaluation datasets.
+pub trait Dataset {
+    /// Human-readable dataset name (e.g. `"cifar10-like"`).
+    fn name(&self) -> &str;
+
+    /// Number of classes.
+    fn num_classes(&self) -> usize;
+
+    /// Image shape `[C, H, W]`.
+    fn image_shape(&self) -> [usize; 3];
+
+    /// Number of samples in the given split.
+    fn len(&self, split: Split) -> usize;
+
+    /// Returns `true` if the split holds no samples.
+    fn is_empty(&self, split: Split) -> bool {
+        self.len(split) == 0
+    }
+
+    /// Fetches one sample by index.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `index >= len(split)`.
+    fn sample(&self, split: Split, index: usize) -> Sample;
+
+    /// Convenience: all samples of a split, materialised.
+    fn samples(&self, split: Split) -> Vec<Sample> {
+        (0..self.len(split)).map(|i| self.sample(split, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+
+    impl Dataset for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn num_classes(&self) -> usize {
+            2
+        }
+        fn image_shape(&self) -> [usize; 3] {
+            [1, 2, 2]
+        }
+        fn len(&self, split: Split) -> usize {
+            match split {
+                Split::Train => 3,
+                Split::Test => 1,
+            }
+        }
+        fn sample(&self, _split: Split, index: usize) -> Sample {
+            Sample {
+                image: Tensor::full(&[1, 2, 2], index as f32),
+                label: index % 2,
+            }
+        }
+    }
+
+    #[test]
+    fn default_methods_work() {
+        let d = Dummy;
+        assert!(!d.is_empty(Split::Train));
+        assert_eq!(d.samples(Split::Train).len(), 3);
+        assert_eq!(d.samples(Split::Test).len(), 1);
+        assert_eq!(d.samples(Split::Train)[2].label, 0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let d: Box<dyn Dataset> = Box::new(Dummy);
+        assert_eq!(d.name(), "dummy");
+        assert_eq!(d.num_classes(), 2);
+    }
+}

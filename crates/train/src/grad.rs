@@ -1,0 +1,336 @@
+//! Layer-level backward passes.
+//!
+//! These free functions compute the gradients of the convolution, linear and
+//! spike-pooling layers given the layer input, the (possibly fake-quantized)
+//! weights used in the forward pass, and the gradient flowing back from the
+//! following LIF population. They recompute the im2col lowering instead of
+//! caching it — a deliberate memory/compute trade-off that keeps the BPTT
+//! cache small enough for CPU training.
+
+use snn_core::error::SnnError;
+use snn_core::layers::{Conv2d, Linear, SpikeMaxPool2d};
+use snn_core::tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+
+/// Gradients of a convolution layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvGrads {
+    /// Gradient with respect to the weight tensor `[out_c, in_c, k, k]`.
+    pub weight: Tensor,
+    /// Gradient with respect to the bias `[out_c]`.
+    pub bias: Tensor,
+    /// Gradient with respect to the layer input `[in_c, h, w]`.
+    pub input: Tensor,
+}
+
+/// Gradients of a linear layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearGrads {
+    /// Gradient with respect to the weight matrix `[out, in]`.
+    pub weight: Tensor,
+    /// Gradient with respect to the bias `[out]`.
+    pub bias: Tensor,
+    /// Gradient with respect to the layer input `[in]`.
+    pub input: Tensor,
+}
+
+/// Backward pass of [`Conv2d::forward`].
+///
+/// `grad_output` must have the shape of the layer output `[out_c, oh, ow]`,
+/// `input` the shape of the layer input `[in_c, h, w]`, and `conv` the layer
+/// whose (possibly fake-quantized) weights were used in the forward pass.
+///
+/// # Errors
+///
+/// Returns [`SnnError::ShapeMismatch`] if the shapes are inconsistent.
+pub fn conv2d_backward(
+    conv: &Conv2d,
+    input: &Tensor,
+    grad_output: &Tensor,
+    ) -> Result<ConvGrads, SnnError> {
+    let out_shape = conv.output_shape(input.shape())?;
+    if grad_output.shape() != out_shape {
+        return Err(SnnError::shape(
+            &out_shape,
+            grad_output.shape(),
+            "conv2d_backward grad_output",
+        ));
+    }
+    let k = conv.kernel();
+    let cols = input.im2col((k, k), conv.stride(), conv.padding())?;
+    let out_c = conv.out_channels();
+    let spatial = out_shape[1] * out_shape[2];
+    let coeffs = conv.coefficients_per_output();
+
+    // grad_w [out_c, coeffs] = grad_out [out_c, spatial] * cols^T [spatial, coeffs]
+    let grad_w_flat = matmul_a_bt(grad_output.as_slice(), &cols.data, out_c, spatial, coeffs);
+    let grad_weight = Tensor::from_vec(
+        grad_w_flat,
+        &[out_c, conv.in_channels(), k, k],
+    )?;
+
+    // grad_b [out_c] = sum over spatial of grad_out.
+    let mut grad_bias = vec![0.0_f32; out_c];
+    for (oc, gb) in grad_bias.iter_mut().enumerate() {
+        *gb = grad_output.as_slice()[oc * spatial..(oc + 1) * spatial]
+            .iter()
+            .sum();
+    }
+    let grad_bias = Tensor::from_vec(grad_bias, &[out_c])?;
+
+    // grad_cols [coeffs, spatial] = W^T [coeffs, out_c] * grad_out [out_c, spatial]
+    let grad_cols_data = matmul_at_b(conv.weight().as_slice(), grad_output.as_slice(), out_c, coeffs, spatial);
+    let grad_cols = snn_core::tensor::Im2Col {
+        data: grad_cols_data,
+        rows: coeffs,
+        cols: spatial,
+        out_h: out_shape[1],
+        out_w: out_shape[2],
+    };
+    let grad_input = Tensor::col2im(
+        &grad_cols,
+        conv.in_channels(),
+        input.shape()[1],
+        input.shape()[2],
+        (k, k),
+        conv.stride(),
+        conv.padding(),
+    )?;
+
+    Ok(ConvGrads {
+        weight: grad_weight,
+        bias: grad_bias,
+        input: grad_input,
+    })
+}
+
+/// Backward pass of [`Linear::forward`].
+///
+/// # Errors
+///
+/// Returns [`SnnError::ShapeMismatch`] if the shapes are inconsistent.
+pub fn linear_backward(
+    linear: &Linear,
+    input: &Tensor,
+    grad_output: &Tensor,
+) -> Result<LinearGrads, SnnError> {
+    if input.len() != linear.in_features() {
+        return Err(SnnError::shape(
+            &[linear.in_features()],
+            &[input.len()],
+            "linear_backward input",
+        ));
+    }
+    if grad_output.len() != linear.out_features() {
+        return Err(SnnError::shape(
+            &[linear.out_features()],
+            &[grad_output.len()],
+            "linear_backward grad_output",
+        ));
+    }
+    let n_in = linear.in_features();
+    let n_out = linear.out_features();
+    // grad_w [out, in] = grad_out [out, 1] * input^T [1, in]
+    let grad_weight = Tensor::from_vec(
+        matmul(grad_output.as_slice(), input.as_slice(), n_out, 1, n_in),
+        &[n_out, n_in],
+    )?;
+    let grad_bias = Tensor::from_vec(grad_output.as_slice().to_vec(), &[n_out])?;
+    // grad_x [in] = W^T [in, out] * grad_out [out]
+    let grad_input = Tensor::from_vec(
+        matmul_at_b(linear.weight().as_slice(), grad_output.as_slice(), n_out, n_in, 1),
+        &[n_in],
+    )?;
+    Ok(LinearGrads {
+        weight: grad_weight,
+        bias: grad_bias,
+        input: grad_input,
+    })
+}
+
+/// Backward pass of spike max-pooling.
+///
+/// On binary inputs the forward OR is equivalent to max-pooling, so the
+/// gradient is routed to the first spiking position of each window (the
+/// argmax), or to the window's first position when the window was silent —
+/// the same convention snnTorch/PyTorch use for ties.
+///
+/// # Errors
+///
+/// Returns [`SnnError::ShapeMismatch`] if the gradient shape does not match
+/// the pooled output shape.
+pub fn pool_backward(
+    pool: &SpikeMaxPool2d,
+    input: &Tensor,
+    grad_output: &Tensor,
+) -> Result<Tensor, SnnError> {
+    let out_shape = pool.output_shape(input.shape())?;
+    if grad_output.shape() != out_shape {
+        return Err(SnnError::shape(
+            &out_shape,
+            grad_output.shape(),
+            "pool_backward grad_output",
+        ));
+    }
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (oh, ow) = (out_shape[1], out_shape[2]);
+    let size = pool.size();
+    let mut grad_input = Tensor::zeros(input.shape());
+    let in_data = input.as_slice();
+    let go = grad_output.as_slice();
+    let gi = grad_input.as_mut_slice();
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = go[ci * oh * ow + oy * ow + ox];
+                if g == 0.0 {
+                    continue;
+                }
+                // Find the first spiking position in the window (argmax).
+                let mut target = (oy * size, ox * size);
+                'search: for ky in 0..size {
+                    for kx in 0..size {
+                        let iy = oy * size + ky;
+                        let ix = ox * size + kx;
+                        if iy < h && ix < w && in_data[ci * h * w + iy * w + ix] > 0.0 {
+                            target = (iy, ix);
+                            break 'search;
+                        }
+                    }
+                }
+                gi[ci * h * w + target.0 * w + target.1] += g;
+            }
+        }
+    }
+    Ok(grad_input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numerically checks d(sum of outputs)/d(parameter) against the analytic
+    /// gradient with an all-ones upstream gradient.
+    fn numeric_grad(f: &mut dyn FnMut(f32) -> f32, x0: f32) -> f32 {
+        let eps = 1e-3;
+        (f(x0 + eps) - f(x0 - eps)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn conv_weight_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::with_kaiming_init(2, 3, 3, 1, 1, &mut rng).unwrap();
+        let input = Tensor::from_fn(&[2, 5, 5], |i| ((i as f32) * 0.17).sin());
+        let out_shape = conv.output_shape(input.shape()).unwrap();
+        let grad_out = Tensor::ones(&out_shape);
+        let grads = conv2d_backward(&conv, &input, &grad_out).unwrap();
+
+        // Check a handful of weight coordinates numerically.
+        for &flat in &[0usize, 7, 23, 40, 53] {
+            let mut perturbed = conv.clone();
+            let mut f = |v: f32| {
+                let mut w = conv.weight().clone();
+                w.as_mut_slice()[flat] = v;
+                perturbed.set_weight(w).unwrap();
+                perturbed.forward(&input).unwrap().sum()
+            };
+            let x0 = conv.weight().as_slice()[flat];
+            let num = numeric_grad(&mut f, x0);
+            let ana = grads.weight.as_slice()[flat];
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "weight {flat}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_bias_gradient_is_spatial_sum() {
+        let conv = Conv2d::new(1, 2, 3, 1, 1).unwrap();
+        let input = Tensor::ones(&[1, 4, 4]);
+        let mut grad_out = Tensor::zeros(&[2, 4, 4]);
+        grad_out.as_mut_slice()[..16].iter_mut().for_each(|v| *v = 2.0);
+        let grads = conv2d_backward(&conv, &input, &grad_out).unwrap();
+        assert_eq!(grads.bias.as_slice(), &[32.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::with_kaiming_init(1, 2, 3, 1, 1, &mut rng).unwrap();
+        let input = Tensor::from_fn(&[1, 4, 4], |i| ((i as f32) * 0.29).cos());
+        let grad_out = Tensor::ones(&conv.output_shape(input.shape()).unwrap());
+        let grads = conv2d_backward(&conv, &input, &grad_out).unwrap();
+        for &flat in &[0usize, 5, 10, 15] {
+            let mut f = |v: f32| {
+                let mut x = input.clone();
+                x.as_mut_slice()[flat] = v;
+                conv.forward(&x).unwrap().sum()
+            };
+            let num = numeric_grad(&mut f, input.as_slice()[flat]);
+            let ana = grads.input.as_slice()[flat];
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "input {flat}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_backward_validates_shapes() {
+        let conv = Conv2d::new(1, 2, 3, 1, 1).unwrap();
+        let input = Tensor::zeros(&[1, 4, 4]);
+        let bad_grad = Tensor::zeros(&[2, 3, 3]);
+        assert!(conv2d_backward(&conv, &input, &bad_grad).is_err());
+    }
+
+    #[test]
+    fn linear_gradients_match_manual_computation() {
+        let mut fc = Linear::new(3, 2).unwrap();
+        fc.set_weight(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap())
+            .unwrap();
+        let input = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]).unwrap();
+        let grad_out = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let grads = linear_backward(&fc, &input, &grad_out).unwrap();
+        // grad_w = grad_out (outer) input.
+        assert_eq!(
+            grads.weight.as_slice(),
+            &[0.5, -1.0, 2.0, -0.5, 1.0, -2.0]
+        );
+        assert_eq!(grads.bias.as_slice(), &[1.0, -1.0]);
+        // grad_x = W^T grad_out = [1-4, 2-5, 3-6].
+        assert_eq!(grads.input.as_slice(), &[-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn linear_backward_validates_shapes() {
+        let fc = Linear::new(3, 2).unwrap();
+        assert!(linear_backward(&fc, &Tensor::zeros(&[4]), &Tensor::zeros(&[2])).is_err());
+        assert!(linear_backward(&fc, &Tensor::zeros(&[3]), &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn pool_backward_routes_to_spiking_position() {
+        let pool = SpikeMaxPool2d::new(2).unwrap();
+        let mut input = Tensor::zeros(&[1, 4, 4]);
+        input.set(&[0, 1, 1], 1.0).unwrap(); // window (0,0): spike at (1,1)
+        input.set(&[0, 2, 3], 1.0).unwrap(); // window (1,1): spike at (2,3)
+        let grad_out = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let grad_in = pool_backward(&pool, &input, &grad_out).unwrap();
+        assert_eq!(grad_in.get(&[0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(grad_in.get(&[0, 2, 3]).unwrap(), 4.0);
+        // Silent windows route to the window's first position.
+        assert_eq!(grad_in.get(&[0, 0, 2]).unwrap(), 2.0);
+        assert_eq!(grad_in.get(&[0, 2, 0]).unwrap(), 3.0);
+        // Total gradient mass is conserved.
+        assert_eq!(grad_in.sum(), grad_out.sum());
+    }
+
+    #[test]
+    fn pool_backward_validates_shapes() {
+        let pool = SpikeMaxPool2d::new(2).unwrap();
+        let input = Tensor::zeros(&[1, 4, 4]);
+        assert!(pool_backward(&pool, &input, &Tensor::zeros(&[1, 4, 4])).is_err());
+    }
+}

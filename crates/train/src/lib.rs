@@ -1,0 +1,36 @@
+//! # snn-train
+//!
+//! From-scratch training substrate for the spiking VGG9 models of the paper:
+//! surrogate-gradient backpropagation through time (BPTT), quantization-aware
+//! training (QAT) with a straight-through estimator, and the optimizers and
+//! loss functions needed to train on the synthetic datasets of `snn-data`.
+//!
+//! This replaces the snnTorch + GPU training pipeline the authors used; the
+//! mechanisms are the same (fast-sigmoid surrogate for the spike
+//! non-linearity, membrane-potential BPTT with a detached reset term,
+//! fake-quantized weights in the forward pass), only the scale is reduced so
+//! the experiments run on a CPU in seconds-to-minutes.
+//!
+//! The crate is organised as:
+//!
+//! * [`surrogate`] — surrogate derivatives of the spike non-linearity,
+//! * [`grad`] — layer-level backward passes (conv, linear, pooling),
+//! * [`loss`] — softmax cross-entropy over the population readout,
+//! * [`optim`] — SGD with momentum and Adam,
+//! * [`bptt`] — the time-unrolled forward/backward over a whole network,
+//! * [`trainer`] — the epoch/batch loop, QAT hook and evaluation helpers.
+
+pub mod bptt;
+pub mod grad;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+pub mod schedule;
+pub mod surrogate;
+pub mod trainer;
+
+pub use bptt::{Bptt, NetworkGradients};
+pub use loss::{cross_entropy, softmax};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use surrogate::SurrogateKind;
+pub use trainer::{EvalReport, TrainConfig, TrainReport, Trainer};

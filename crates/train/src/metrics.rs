@@ -1,0 +1,215 @@
+//! Classification and spiking-activity metrics.
+//!
+//! Beyond top-1 accuracy, the evaluation section of the paper reasons about
+//! per-layer spike counts and per-class behaviour. This module provides a
+//! confusion matrix, per-class accuracy and spike-rate summaries that the
+//! examples and harnesses use when reporting results.
+
+use snn_core::error::SnnError;
+use serde::{Deserialize, Serialize};
+
+/// A confusion matrix over `n` classes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if `classes == 0`.
+    pub fn new(classes: usize) -> Result<Self, SnnError> {
+        if classes == 0 {
+            return Err(SnnError::config("classes", "need at least one class"));
+        }
+        Ok(ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(target, predicted)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::IndexOutOfBounds`] if either index is out of range.
+    pub fn record(&mut self, target: usize, predicted: usize) -> Result<(), SnnError> {
+        if target >= self.classes {
+            return Err(SnnError::index(target, self.classes, "confusion target"));
+        }
+        if predicted >= self.classes {
+            return Err(SnnError::index(predicted, self.classes, "confusion prediction"));
+        }
+        self.counts[target * self.classes + predicted] += 1;
+        Ok(())
+    }
+
+    /// Count for a `(target, predicted)` cell.
+    pub fn count(&self, target: usize, predicted: usize) -> u64 {
+        self.counts[target * self.classes + predicted]
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (accuracy restricted to samples of that class).
+    pub fn per_class_recall(&self) -> Vec<f64> {
+        (0..self.classes)
+            .map(|c| {
+                let row: u64 = (0..self.classes).map(|p| self.count(c, p)).sum();
+                if row == 0 {
+                    0.0
+                } else {
+                    self.count(c, c) as f64 / row as f64
+                }
+            })
+            .collect()
+    }
+
+    /// The most frequently predicted class (useful to spot collapsed models).
+    pub fn most_predicted_class(&self) -> usize {
+        (0..self.classes)
+            .max_by_key(|&p| (0..self.classes).map(|t| self.count(t, p)).sum::<u64>())
+            .unwrap_or(0)
+    }
+}
+
+/// Summary statistics of spiking activity across an evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpikeRateSummary {
+    /// Mean spikes per sample.
+    pub mean: f64,
+    /// Minimum spikes over samples.
+    pub min: u64,
+    /// Maximum spikes over samples.
+    pub max: u64,
+    /// Standard deviation of spikes per sample.
+    pub std_dev: f64,
+    /// Number of samples summarised.
+    pub samples: usize,
+}
+
+impl SpikeRateSummary {
+    /// Computes the summary from per-sample spike counts.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        if counts.is_empty() {
+            return SpikeRateSummary::default();
+        }
+        let n = counts.len() as f64;
+        let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        SpikeRateSummary {
+            mean,
+            min: *counts.iter().min().unwrap_or(&0),
+            max: *counts.iter().max().unwrap_or(&0),
+            std_dev: var.sqrt(),
+            samples: counts.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn confusion_matrix_basic_counts() {
+        let mut m = ConfusionMatrix::new(3).unwrap();
+        m.record(0, 0).unwrap();
+        m.record(0, 1).unwrap();
+        m.record(1, 1).unwrap();
+        m.record(2, 2).unwrap();
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.count(0, 1), 1);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        let recall = m.per_class_recall();
+        assert!((recall[0] - 0.5).abs() < 1e-12);
+        assert_eq!(recall[1], 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_validates_indices() {
+        assert!(ConfusionMatrix::new(0).is_err());
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        assert!(m.record(2, 0).is_err());
+        assert!(m.record(0, 2).is_err());
+    }
+
+    #[test]
+    fn most_predicted_class_detects_collapse() {
+        let mut m = ConfusionMatrix::new(3).unwrap();
+        for t in 0..3 {
+            for _ in 0..5 {
+                m.record(t, 1).unwrap();
+            }
+        }
+        assert_eq!(m.most_predicted_class(), 1);
+        assert!((m.accuracy() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spike_summary_of_empty_is_zero() {
+        let s = SpikeRateSummary::from_counts(&[]);
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn spike_summary_statistics() {
+        let s = SpikeRateSummary::from_counts(&[10, 20, 30]);
+        assert_eq!(s.samples, 3);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert!(s.std_dev > 0.0);
+    }
+
+    proptest! {
+        /// Accuracy is always in [0, 1] and equals 1 only when every
+        /// prediction matches its target.
+        #[test]
+        fn accuracy_bounds(pairs in proptest::collection::vec((0_usize..4, 0_usize..4), 1..50)) {
+            let mut m = ConfusionMatrix::new(4).unwrap();
+            for &(t, p) in &pairs {
+                m.record(t, p).unwrap();
+            }
+            let acc = m.accuracy();
+            prop_assert!((0.0..=1.0).contains(&acc));
+            let all_correct = pairs.iter().all(|&(t, p)| t == p);
+            prop_assert_eq!(acc == 1.0, all_correct);
+        }
+
+        /// The spike summary's min/mean/max are always ordered.
+        #[test]
+        fn summary_ordering(counts in proptest::collection::vec(0_u64..10_000, 1..100)) {
+            let s = SpikeRateSummary::from_counts(&counts);
+            prop_assert!(s.min as f64 <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max as f64 + 1e-9);
+        }
+    }
+}

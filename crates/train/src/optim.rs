@@ -1,0 +1,241 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! The optimizers operate on flat parameter/gradient pairs keyed by a stable
+//! parameter identifier (layer index + parameter role), so the trainer can
+//! feed them the conv/linear weights of a network in any order.
+
+use snn_core::error::SnnError;
+use snn_core::tensor::Tensor;
+use std::collections::HashMap;
+
+/// A stochastic gradient-based optimizer.
+pub trait Optimizer {
+    /// Applies one update to `param` given `grad`. The `key` identifies the
+    /// parameter across calls so stateful optimizers can keep per-parameter
+    /// moments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the gradient shape differs from
+    /// the parameter shape.
+    fn step(&mut self, key: &str, param: &mut Tensor, grad: &Tensor) -> Result<(), SnnError>;
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, key: &str, param: &mut Tensor, grad: &Tensor) -> Result<(), SnnError> {
+        if param.shape() != grad.shape() {
+            return Err(SnnError::shape(param.shape(), grad.shape(), "Sgd::step"));
+        }
+        let velocity = self
+            .velocity
+            .entry(key.to_string())
+            .or_insert_with(|| Tensor::zeros(param.shape()));
+        if velocity.shape() != param.shape() {
+            *velocity = Tensor::zeros(param.shape());
+        }
+        let momentum = self.momentum;
+        let lr = self.lr;
+        for ((v, p), g) in velocity
+            .as_mut_slice()
+            .iter_mut()
+            .zip(param.as_mut_slice().iter_mut())
+            .zip(grad.as_slice().iter())
+        {
+            *v = momentum * *v + g;
+            *p -= lr * *v;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias-corrected moments.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    steps: HashMap<String, u64>,
+    first_moment: HashMap<String, Tensor>,
+    second_moment: HashMap<String, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard β₁ = 0.9, β₂ = 0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            steps: HashMap::new(),
+            first_moment: HashMap::new(),
+            second_moment: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, key: &str, param: &mut Tensor, grad: &Tensor) -> Result<(), SnnError> {
+        if param.shape() != grad.shape() {
+            return Err(SnnError::shape(param.shape(), grad.shape(), "Adam::step"));
+        }
+        let t = self.steps.entry(key.to_string()).or_insert(0);
+        *t += 1;
+        let t = *t;
+        let m = self
+            .first_moment
+            .entry(key.to_string())
+            .or_insert_with(|| Tensor::zeros(param.shape()));
+        let v = self
+            .second_moment
+            .entry(key.to_string())
+            .or_insert_with(|| Tensor::zeros(param.shape()));
+        if m.shape() != param.shape() {
+            *m = Tensor::zeros(param.shape());
+        }
+        if v.shape() != param.shape() {
+            *v = Tensor::zeros(param.shape());
+        }
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bias1 = 1.0 - b1.powi(t as i32);
+        let bias2 = 1.0 - b2.powi(t as i32);
+        for (((mi, vi), p), g) in m
+            .as_mut_slice()
+            .iter_mut()
+            .zip(v.as_mut_slice().iter_mut())
+            .zip(param.as_mut_slice().iter_mut())
+            .zip(grad.as_slice().iter())
+        {
+            *mi = b1 * *mi + (1.0 - b1) * g;
+            *vi = b2 * *vi + (1.0 - b2) * g * g;
+            let m_hat = *mi / bias1;
+            let v_hat = *vi / bias2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_minimisation(optim: &mut dyn Optimizer, steps: usize) -> f32 {
+        // Minimise f(x) = (x - 3)^2 starting from x = 0.
+        let mut param = Tensor::zeros(&[1]);
+        for _ in 0..steps {
+            let x = param.as_slice()[0];
+            let grad = Tensor::from_vec(vec![2.0 * (x - 3.0)], &[1]).unwrap();
+            optim.step("x", &mut param, &grad).unwrap();
+        }
+        param.as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1, 0.0);
+        let x = quadratic_minimisation(&mut sgd, 100);
+        assert!((x - 3.0).abs() < 1e-3, "converged to {x}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.05, 0.9);
+        let x = quadratic_minimisation(&mut sgd, 200);
+        assert!((x - 3.0).abs() < 1e-2, "converged to {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.2);
+        let x = quadratic_minimisation(&mut adam, 300);
+        assert!((x - 3.0).abs() < 1e-2, "converged to {x}");
+    }
+
+    #[test]
+    fn step_rejects_shape_mismatch() {
+        let mut sgd = Sgd::new(0.1, 0.0);
+        let mut adam = Adam::new(0.1);
+        let mut param = Tensor::zeros(&[2]);
+        let grad = Tensor::zeros(&[3]);
+        assert!(sgd.step("p", &mut param, &grad).is_err());
+        assert!(adam.step("p", &mut param, &grad).is_err());
+    }
+
+    #[test]
+    fn learning_rate_can_be_changed() {
+        let mut sgd = Sgd::new(0.1, 0.0);
+        assert_eq!(sgd.learning_rate(), 0.1);
+        sgd.set_learning_rate(0.01);
+        assert_eq!(sgd.learning_rate(), 0.01);
+        let mut adam = Adam::new(0.5);
+        adam.set_learning_rate(0.05);
+        assert_eq!(adam.learning_rate(), 0.05);
+    }
+
+    #[test]
+    fn separate_keys_keep_separate_state() {
+        let mut adam = Adam::new(0.1);
+        let mut a = Tensor::zeros(&[1]);
+        let mut b = Tensor::zeros(&[1]);
+        let ga = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let gb = Tensor::from_vec(vec![-1.0], &[1]).unwrap();
+        for _ in 0..10 {
+            adam.step("a", &mut a, &ga).unwrap();
+            adam.step("b", &mut b, &gb).unwrap();
+        }
+        assert!(a.as_slice()[0] < 0.0);
+        assert!(b.as_slice()[0] > 0.0);
+    }
+
+    #[test]
+    fn optimizer_trait_is_object_safe() {
+        let mut boxed: Box<dyn Optimizer> = Box::new(Sgd::new(0.1, 0.0));
+        let mut param = Tensor::zeros(&[1]);
+        let grad = Tensor::ones(&[1]);
+        boxed.step("p", &mut param, &grad).unwrap();
+        assert!(param.as_slice()[0] < 0.0);
+    }
+}

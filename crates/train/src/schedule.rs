@@ -1,0 +1,159 @@
+//! Learning-rate schedules.
+//!
+//! Long QAT runs in the paper's training setup decay the learning rate over
+//! epochs; this module provides the standard schedules the trainer can apply
+//! between epochs (constant, step decay, cosine annealing) behind one small
+//! trait.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+pub trait LrSchedule {
+    /// Learning rate to use during `epoch` (0-based).
+    fn learning_rate(&self, epoch: usize) -> f32;
+}
+
+/// A constant learning rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantLr {
+    /// The learning rate.
+    pub lr: f32,
+}
+
+impl LrSchedule for ConstantLr {
+    fn learning_rate(&self, _epoch: usize) -> f32 {
+        self.lr
+    }
+}
+
+/// Step decay: multiply the base rate by `gamma` every `step` epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Epochs between decays.
+    pub step: usize,
+    /// Multiplicative decay factor in `(0, 1]`.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn learning_rate(&self, epoch: usize) -> f32 {
+        if self.step == 0 {
+            return self.base_lr;
+        }
+        self.base_lr * self.gamma.powi((epoch / self.step) as i32)
+    }
+}
+
+/// Cosine annealing from `base_lr` down to `min_lr` over `total_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CosineAnnealing {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Final learning rate.
+    pub min_lr: f32,
+    /// Number of epochs over which to anneal.
+    pub total_epochs: usize,
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn learning_rate(&self, epoch: usize) -> f32 {
+        if self.total_epochs == 0 {
+            return self.base_lr;
+        }
+        let progress = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
+        let cos = (std::f32::consts::PI * progress).cos();
+        self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + cos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = ConstantLr { lr: 0.01 };
+        assert_eq!(s.learning_rate(0), 0.01);
+        assert_eq!(s.learning_rate(100), 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves_every_step() {
+        let s = StepDecay {
+            base_lr: 0.1,
+            step: 2,
+            gamma: 0.5,
+        };
+        assert_eq!(s.learning_rate(0), 0.1);
+        assert_eq!(s.learning_rate(1), 0.1);
+        assert!((s.learning_rate(2) - 0.05).abs() < 1e-9);
+        assert!((s.learning_rate(4) - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_decay_with_zero_step_is_constant() {
+        let s = StepDecay {
+            base_lr: 0.1,
+            step: 0,
+            gamma: 0.5,
+        };
+        assert_eq!(s.learning_rate(10), 0.1);
+    }
+
+    #[test]
+    fn cosine_starts_at_base_and_ends_at_min() {
+        let s = CosineAnnealing {
+            base_lr: 0.1,
+            min_lr: 0.001,
+            total_epochs: 10,
+        };
+        assert!((s.learning_rate(0) - 0.1).abs() < 1e-6);
+        assert!((s.learning_rate(10) - 0.001).abs() < 1e-6);
+        assert!((s.learning_rate(20) - 0.001).abs() < 1e-6);
+        // Midpoint is the average of base and min.
+        assert!((s.learning_rate(5) - 0.0505).abs() < 1e-3);
+    }
+
+    #[test]
+    fn schedules_are_object_safe() {
+        let schedules: Vec<Box<dyn LrSchedule>> = vec![
+            Box::new(ConstantLr { lr: 0.1 }),
+            Box::new(StepDecay {
+                base_lr: 0.1,
+                step: 1,
+                gamma: 0.9,
+            }),
+            Box::new(CosineAnnealing {
+                base_lr: 0.1,
+                min_lr: 0.0,
+                total_epochs: 5,
+            }),
+        ];
+        for s in &schedules {
+            assert!(s.learning_rate(3) > 0.0 || s.learning_rate(3) == 0.0);
+        }
+    }
+
+    proptest! {
+        /// Cosine annealing is monotonically non-increasing inside the
+        /// annealing window and stays within [min_lr, base_lr].
+        #[test]
+        fn cosine_monotone_and_bounded(epoch in 0_usize..30) {
+            let s = CosineAnnealing { base_lr: 0.2, min_lr: 0.01, total_epochs: 30 };
+            let now = s.learning_rate(epoch);
+            let next = s.learning_rate(epoch + 1);
+            prop_assert!(next <= now + 1e-6);
+            prop_assert!((0.01 - 1e-6..=0.2 + 1e-6).contains(&now));
+        }
+
+        /// Step decay never increases with epochs for gamma <= 1.
+        #[test]
+        fn step_decay_monotone(epoch in 0_usize..50, gamma in 0.1_f32..1.0) {
+            let s = StepDecay { base_lr: 0.3, step: 3, gamma };
+            prop_assert!(s.learning_rate(epoch + 1) <= s.learning_rate(epoch) + 1e-7);
+        }
+    }
+}

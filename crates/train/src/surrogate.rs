@@ -1,0 +1,135 @@
+//! Surrogate gradients for the non-differentiable spike function.
+//!
+//! The paper trains with surrogate gradients [Neftci et al., 2019] through
+//! snnTorch. The spike function `s = H(u - θ)` has zero derivative almost
+//! everywhere, so BPTT replaces `ds/du` with a smooth surrogate evaluated at
+//! the membrane potential. The default is snnTorch's *fast sigmoid*
+//! surrogate, `1 / (slope · |u - θ| + 1)²`.
+
+use serde::{Deserialize, Serialize};
+
+/// Which surrogate derivative to use for `ds/du`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SurrogateKind {
+    /// Fast sigmoid: `1 / (slope · |u - θ| + 1)²` (snnTorch default).
+    FastSigmoid {
+        /// Slope (steepness) parameter; 25.0 matches snnTorch's default.
+        slope: f32,
+    },
+    /// Arctangent surrogate: `1 / (1 + (π · α · (u - θ))²)`.
+    Atan {
+        /// Width parameter α.
+        alpha: f32,
+    },
+    /// Boxcar / straight-through: 1 inside a window of half-width `width`
+    /// around the threshold, 0 outside.
+    Boxcar {
+        /// Half-width of the pass-through window.
+        width: f32,
+    },
+}
+
+impl SurrogateKind {
+    /// The default used throughout the reproduction (fast sigmoid, slope 25).
+    pub fn paper_default() -> Self {
+        SurrogateKind::FastSigmoid { slope: 25.0 }
+    }
+
+    /// Evaluates the surrogate derivative `ds/du` at membrane potential `u`
+    /// for threshold `theta`.
+    pub fn derivative(self, u: f32, theta: f32) -> f32 {
+        let x = u - theta;
+        match self {
+            SurrogateKind::FastSigmoid { slope } => {
+                let d = slope * x.abs() + 1.0;
+                1.0 / (d * d)
+            }
+            SurrogateKind::Atan { alpha } => {
+                let t = std::f32::consts::PI * alpha * x;
+                1.0 / (1.0 + t * t)
+            }
+            SurrogateKind::Boxcar { width } => {
+                if x.abs() <= width {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+impl Default for SurrogateKind {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fast_sigmoid_peaks_at_threshold() {
+        let s = SurrogateKind::FastSigmoid { slope: 25.0 };
+        assert_eq!(s.derivative(0.5, 0.5), 1.0);
+        assert!(s.derivative(0.6, 0.5) < 1.0);
+        assert!(s.derivative(0.4, 0.5) < 1.0);
+    }
+
+    #[test]
+    fn fast_sigmoid_is_symmetric_around_threshold() {
+        let s = SurrogateKind::paper_default();
+        let above = s.derivative(0.8, 0.5);
+        let below = s.derivative(0.2, 0.5);
+        assert!((above - below).abs() < 1e-7);
+    }
+
+    #[test]
+    fn atan_peaks_at_threshold() {
+        let s = SurrogateKind::Atan { alpha: 2.0 };
+        assert_eq!(s.derivative(1.0, 1.0), 1.0);
+        assert!(s.derivative(2.0, 1.0) < 0.1);
+    }
+
+    #[test]
+    fn boxcar_is_binary() {
+        let s = SurrogateKind::Boxcar { width: 0.25 };
+        assert_eq!(s.derivative(0.6, 0.5), 1.0);
+        assert_eq!(s.derivative(0.76, 0.5), 0.0);
+        assert_eq!(s.derivative(0.24, 0.5), 0.0);
+    }
+
+    #[test]
+    fn default_is_fast_sigmoid_25() {
+        assert_eq!(
+            SurrogateKind::default(),
+            SurrogateKind::FastSigmoid { slope: 25.0 }
+        );
+    }
+
+    proptest! {
+        /// All surrogates are bounded in [0, 1] and non-negative.
+        #[test]
+        fn surrogates_bounded(u in -10.0_f32..10.0, theta in 0.1_f32..2.0) {
+            for s in [
+                SurrogateKind::paper_default(),
+                SurrogateKind::Atan { alpha: 2.0 },
+                SurrogateKind::Boxcar { width: 0.5 },
+            ] {
+                let d = s.derivative(u, theta);
+                prop_assert!((0.0..=1.0).contains(&d));
+            }
+        }
+
+        /// Smooth surrogates decay monotonically away from the threshold.
+        #[test]
+        fn decay_away_from_threshold(dist in 0.0_f32..5.0, extra in 0.01_f32..5.0) {
+            let s = SurrogateKind::paper_default();
+            let near = s.derivative(0.5 + dist, 0.5);
+            let far = s.derivative(0.5 + dist + extra, 0.5);
+            prop_assert!(far <= near);
+        }
+    }
+}

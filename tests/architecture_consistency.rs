@@ -1,0 +1,179 @@
+//! Integration tests checking that the accelerator's functional models are
+//! bit-true against the algorithmic reference in `snn-core`, and that the
+//! coding-scheme / scaling trends reported by the paper hold end to end.
+
+use snn_dse::accel::config::{HwConfig, PerfScale};
+use snn_dse::accel::dense_core::DenseCore;
+use snn_dse::accel::dse::allocate_balanced;
+use snn_dse::accel::sparse_core::SparseCore;
+use snn_dse::accel::workload::from_traces;
+use snn_dse::accel::HybridAccelerator;
+use snn_dse::core::encoding::Encoder;
+use snn_dse::core::network::{vgg9, Layer, Vgg9Config};
+use snn_dse::core::quant::Precision;
+use snn_dse::core::spike::SpikeVolume;
+use snn_dse::core::tensor::Tensor;
+
+fn small_image() -> Tensor {
+    Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.019).sin().abs())
+}
+
+#[test]
+fn dense_core_reproduces_the_networks_first_layer_spikes() {
+    let mut network = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let image = small_image();
+    let encoder = Encoder::paper_direct();
+    let out = network.run(&image, &encoder).unwrap();
+
+    // Re-execute the first layer on the dense core and compare spike counts
+    // per timestep against the network trace. BN is identity at init, so the
+    // folded and unfolded networks agree.
+    let Layer::Conv { conv, .. } = &network.layers()[0] else {
+        panic!("first layer must be a convolution");
+    };
+    let frames = encoder.encode(&image, 0).unwrap();
+    let (volume, timing) = DenseCore::new(2)
+        .run(conv, network.lif_params(), &frames)
+        .unwrap();
+    assert!(timing.total_cycles > 0);
+    for (t, &expected) in out.traces[0].output_spikes.iter().enumerate() {
+        assert_eq!(volume.spikes_at_timestep(t) as u64, expected);
+    }
+}
+
+#[test]
+fn sparse_core_reproduces_the_second_layer_spikes() {
+    let mut network = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let image = small_image();
+    let out = network.run(&image, &Encoder::paper_direct()).unwrap();
+
+    // Feed the recorded spike output of CONV1_1 into a sparse core running
+    // CONV1_2 and check that it reproduces the recorded CONV1_2 spikes.
+    let input_volume = out.traces[0].spikes.clone().expect("conv trace has spikes");
+    let Layer::Conv { conv, .. } = &network.layers()[1] else {
+        panic!("second layer must be a convolution");
+    };
+    let (volume, _) = SparseCore::new(4, 32)
+        .run_conv(conv, network.lif_params(), &input_volume)
+        .unwrap();
+    for (t, &expected) in out.traces[1].output_spikes.iter().enumerate() {
+        assert_eq!(volume.spikes_at_timestep(t) as u64, expected);
+    }
+}
+
+#[test]
+fn direct_coding_beats_rate_coding_on_energy() {
+    // The Table II trend: with far fewer timesteps, direct coding consumes
+    // much less energy than rate coding on the same network.
+    let mut network = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    network.apply_precision(Precision::Int4).unwrap();
+    let image = small_image();
+
+    let direct = network.run(&image, &Encoder::direct(2)).unwrap();
+    let rate = network.run_seeded(&image, &Encoder::rate(20), 3).unwrap();
+
+    let direct_hw = HwConfig::from_allocation(
+        "direct",
+        Precision::Int4,
+        &[1, 8, 4, 18, 6, 6, 20, 2, 1],
+    )
+    .unwrap();
+    let rate_hw = HwConfig::from_allocation(
+        "rate",
+        Precision::Int4,
+        &[1, 1, 8, 4, 18, 6, 6, 20, 2, 1],
+    )
+    .unwrap()
+    .without_dense_core();
+
+    let direct_report = HybridAccelerator::new(&network, direct_hw)
+        .unwrap()
+        .estimate(&direct.traces)
+        .unwrap();
+    let rate_report = HybridAccelerator::new(&network, rate_hw)
+        .unwrap()
+        .estimate(&rate.traces)
+        .unwrap();
+
+    assert!(
+        rate.record.total_spikes() > direct.record.total_spikes(),
+        "rate coding at 20 timesteps should emit more spikes than direct at 2"
+    );
+    assert!(
+        rate_report.dynamic_energy_mj > 2.0 * direct_report.dynamic_energy_mj,
+        "rate coding should cost several times more energy (got {:.4} vs {:.4} mJ)",
+        rate_report.dynamic_energy_mj,
+        direct_report.dynamic_energy_mj
+    );
+    assert!(rate_report.latency_ms > direct_report.latency_ms);
+}
+
+#[test]
+fn perf_scaling_improves_throughput_and_energy() {
+    // The Fig. 4 trend: perf2/perf4 scale up resources, which improves both
+    // throughput and (because latency shrinks faster than power grows)
+    // per-image energy.
+    let mut network = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let image = small_image();
+    let out = network.run(&image, &Encoder::paper_direct()).unwrap();
+
+    let mut reports = Vec::new();
+    for scale in PerfScale::all() {
+        let mut cfg = HwConfig::from_allocation(
+            format!("scaled-{scale}"),
+            Precision::Int4,
+            &[1, 8, 4, 18, 6, 6, 20, 2, 1],
+        )
+        .unwrap();
+        let f = scale.factor();
+        cfg.dense_rows *= f;
+        for nc in &mut cfg.neural_cores {
+            *nc *= f;
+        }
+        reports.push(
+            HybridAccelerator::new(&network, cfg)
+                .unwrap()
+                .estimate(&out.traces)
+                .unwrap(),
+        );
+    }
+    assert!(reports[1].throughput_fps > reports[0].throughput_fps);
+    assert!(reports[2].throughput_fps > reports[1].throughput_fps);
+    assert!(reports[2].latency_ms < reports[0].latency_ms);
+}
+
+#[test]
+fn dse_allocation_balances_the_network() {
+    let mut network = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let image = small_image();
+    let out = network.run(&image, &Encoder::paper_direct()).unwrap();
+    let workloads = from_traces(&out.traces).unwrap();
+    let uniform = allocate_balanced(&workloads, workloads.len()).unwrap();
+    let balanced = allocate_balanced(&workloads, 64).unwrap();
+    assert!(balanced.bottleneck_cycles() <= uniform.bottleneck_cycles());
+    assert!(balanced.imbalance <= uniform.imbalance);
+    // Converting the allocation into a hardware configuration must produce a
+    // valid accelerator.
+    let mut allocation = vec![1usize];
+    allocation.extend(balanced.cores.iter().skip(1));
+    let cfg = HwConfig::from_allocation("dse", Precision::Int4, &allocation).unwrap();
+    assert!(HybridAccelerator::new(&network, cfg).is_ok());
+}
+
+#[test]
+fn spike_volume_roundtrips_through_the_whole_stack() {
+    // SpikeVolume built by the network is consumable by the sparse core and
+    // keeps its counts through the accelerator estimate.
+    let mut network = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let out = network.run(&small_image(), &Encoder::paper_direct()).unwrap();
+    for trace in &out.traces {
+        if let Some(volume) = &trace.spikes {
+            let total: u64 = trace.output_spikes.iter().sum();
+            assert_eq!(volume.total_spikes() as u64, total);
+            assert_eq!(volume.timesteps(), out.timesteps);
+        }
+    }
+    // An empty volume stays empty through OR-pooling semantics.
+    let empty = SpikeVolume::new(2, 4, 8, 8);
+    assert_eq!(empty.total_spikes(), 0);
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration test: dataset → training → quantization →
+//! inference → accelerator estimate, the full pipeline behind the paper's
+//! experiments, exercised at smoke scale.
+
+use snn_dse::accel::accelerator::HybridAccelerator;
+use snn_dse::accel::config::HwConfig;
+use snn_dse::core::encoding::Encoder;
+use snn_dse::core::network::{vgg9, Vgg9Config};
+use snn_dse::core::quant::Precision;
+use snn_dse::data::{Dataset, Split, SyntheticConfig, SyntheticDataset};
+use snn_dse::train::trainer::{evaluate, TrainConfig, Trainer};
+
+fn tiny_dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(SyntheticConfig::cifar10_like().scaled_down(16, 16, 8))
+}
+
+#[test]
+fn train_quantize_infer_and_estimate() {
+    let data = tiny_dataset();
+    let mut network = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+
+    // Train for one epoch with QAT at int4.
+    let mut cfg = TrainConfig::quick_qat(Precision::Int4);
+    cfg.max_train_samples = Some(8);
+    cfg.batch_size = 4;
+    let mut trainer = Trainer::new(cfg);
+    let report = trainer.fit(&mut network, &data).unwrap();
+    assert!(report.final_loss().is_finite());
+
+    // Deploy at int4 and evaluate.
+    network.apply_precision(Precision::Int4).unwrap();
+    let eval = evaluate(
+        &mut network,
+        &data,
+        Split::Test,
+        &Encoder::paper_direct(),
+        Some(4),
+    )
+    .unwrap();
+    assert_eq!(eval.samples, 4);
+    assert!(eval.total_spikes > 0, "a trained SNN must emit spikes");
+
+    // Map one inference onto the accelerator.
+    let sample = data.sample(Split::Test, 0);
+    let out = network.run(&sample.image, &Encoder::paper_direct()).unwrap();
+    let hw = HwConfig::from_allocation(
+        "e2e-int4",
+        Precision::Int4,
+        &[1, 8, 4, 18, 6, 6, 20, 2, 1],
+    )
+    .unwrap();
+    let accel = HybridAccelerator::new(&network, hw).unwrap();
+    let perf = accel.estimate(&out.traces).unwrap();
+    assert_eq!(perf.layers.len(), 9);
+    assert!(perf.latency_ms > 0.0);
+    assert!(perf.throughput_fps > 0.0);
+    assert!(perf.dynamic_energy_mj > 0.0);
+    assert!(perf.fits_device);
+}
+
+#[test]
+fn quantized_deployment_changes_spike_counts_but_not_structure() {
+    let data = tiny_dataset();
+    let sample = data.sample(Split::Test, 1);
+    let mut fp32 = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let mut int4 = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    int4.apply_precision(Precision::Int4).unwrap();
+
+    let out_fp32 = fp32.run(&sample.image, &Encoder::paper_direct()).unwrap();
+    let out_int4 = int4.run(&sample.image, &Encoder::paper_direct()).unwrap();
+    assert_eq!(out_fp32.traces.len(), out_int4.traces.len());
+    assert_eq!(out_fp32.logits.len(), out_int4.logits.len());
+    // Quantization perturbs the activity (almost surely), but both runs must
+    // produce valid, finite spike statistics.
+    assert!(out_fp32.record.total_spikes() > 0);
+    assert!(out_int4.record.total_spikes() > 0);
+}
+
+#[test]
+fn fp32_and_int4_accelerators_rank_as_the_paper_reports() {
+    // For identical traces, the int4 hardware must be cheaper in both power
+    // and energy — the core co-design claim of the paper.
+    let data = tiny_dataset();
+    let sample = data.sample(Split::Train, 0);
+    let mut network = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let out = network.run(&sample.image, &Encoder::paper_direct()).unwrap();
+
+    let alloc = [1, 8, 4, 18, 6, 6, 20, 2, 1];
+    let int4_hw = HwConfig::from_allocation("int4", Precision::Int4, &alloc).unwrap();
+    let fp32_hw = HwConfig::from_allocation("fp32", Precision::Fp32, &alloc).unwrap();
+    let int4 = HybridAccelerator::new(&network, int4_hw)
+        .unwrap()
+        .estimate(&out.traces)
+        .unwrap();
+    let fp32 = HybridAccelerator::new(&network, fp32_hw)
+        .unwrap()
+        .estimate(&out.traces)
+        .unwrap();
+    assert!(fp32.total_dynamic_watts > int4.total_dynamic_watts);
+    assert!(fp32.dynamic_energy_mj > int4.dynamic_energy_mj);
+    // Same schedule, same cycles: latency is identical, only power differs.
+    assert!((fp32.latency_ms - int4.latency_ms).abs() < 1e-9);
+}

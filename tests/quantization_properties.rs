@@ -1,0 +1,94 @@
+//! Cross-crate property tests of the quantization path: quantized networks
+//! must remain functional, their storage must shrink as the paper claims, and
+//! the accelerator's area/power models must order precisions consistently.
+
+use proptest::prelude::*;
+use snn_dse::accel::config::HwConfig;
+use snn_dse::accel::resources::estimate_layers;
+use snn_dse::core::encoding::Encoder;
+use snn_dse::core::layers::Conv2d;
+use snn_dse::core::network::{vgg9, Vgg9Config};
+use snn_dse::core::quant::{fake_quantize, Precision, QuantizedTensor};
+use snn_dse::core::tensor::Tensor;
+
+#[test]
+fn quantized_network_storage_shrinks_by_the_bit_ratio() {
+    let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let mut fp32_bits = 0u64;
+    let mut int4_bits = 0u64;
+    for layer in net.layers() {
+        if let snn_dse::core::network::Layer::Conv { conv, .. } = layer {
+            fp32_bits += conv.storage_bits(Precision::Fp32);
+            int4_bits += conv.storage_bits(Precision::Int4);
+        }
+    }
+    assert_eq!(fp32_bits, 8 * int4_bits);
+}
+
+#[test]
+fn quantized_inference_stays_close_to_fp32_on_first_layer_currents() {
+    // The int4 convolution's output currents must stay within the
+    // quantization error bound of the fp32 currents: |Δ| ≤ taps × scale/2.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(5);
+    let conv = Conv2d::with_kaiming_init(3, 8, 3, 1, 1, &mut rng).unwrap();
+    let quantized = conv.to_precision(Precision::Int4).unwrap();
+    let input = Tensor::from_fn(&[3, 8, 8], |i| ((i as f32) * 0.021).sin().abs());
+    let a = conv.forward(&input).unwrap();
+    let b = quantized.forward(&input).unwrap();
+    let scale = QuantizedTensor::quantize(conv.weight(), Precision::Int4)
+        .unwrap()
+        .params()
+        .scale;
+    let bound = 27.0 * scale / 2.0 + 1e-4;
+    for (x, y) in a.as_slice().iter().zip(b.as_slice().iter()) {
+        assert!((x - y).abs() <= bound, "divergence {x} vs {y} exceeds bound {bound}");
+    }
+}
+
+#[test]
+fn resource_model_orders_precisions_monotonically() {
+    let geometry = vgg9(&Vgg9Config::cifar10_small())
+        .unwrap()
+        .geometry()
+        .unwrap();
+    let alloc = [1, 4, 2, 4, 2, 4, 4, 2, 1];
+    let mut previous_blocks = u64::MAX;
+    for precision in [Precision::Fp32, Precision::Int8, Precision::Int4] {
+        let cfg = HwConfig::from_allocation("prop", precision, &alloc).unwrap();
+        let est = estimate_layers(&geometry, &cfg, 2).unwrap();
+        let blocks = est.total_bram() + est.total_uram();
+        assert!(
+            blocks <= previous_blocks,
+            "{precision:?} should not need more memory blocks than the previous precision"
+        );
+        previous_blocks = blocks;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fake-quantization keeps every weight on the symmetric grid, so no
+    /// quantized magnitude can exceed the original maximum magnitude.
+    #[test]
+    fn fake_quantization_bounds_weights(seed in 0_u64..500) {
+        let values: Vec<f32> = (0..64).map(|i| ((i as f32 + seed as f32) * 0.173).sin()).collect();
+        let t = Tensor::from_vec(values, &[64]).unwrap();
+        let q = fake_quantize(&t, Precision::Int4).unwrap();
+        let max_abs = t.as_slice().iter().fold(0.0_f32, |a, &x| a.max(x.abs()));
+        prop_assert!(q.as_slice().iter().all(|&x| x.abs() <= max_abs + 1e-5));
+    }
+
+    /// A quantized network produces finite logits for any bounded input.
+    #[test]
+    fn quantized_network_is_total(pixel in 0.0_f32..1.0) {
+        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        net.apply_precision(Precision::Int4).unwrap();
+        let image = Tensor::full(&[3, 16, 16], pixel);
+        let out = net.run(&image, &Encoder::direct(1)).unwrap();
+        prop_assert!(out.logits.iter().all(|l| l.is_finite()));
+        prop_assert!(out.prediction < 10);
+    }
+}
