@@ -1,0 +1,42 @@
+//! Criterion bench of `Session::run_batch` throughput (images/sec) on
+//! `Vgg9Config::cifar10_small` at batch sizes 1, 8 and 32 — the baseline for
+//! future parallelism work.
+//!
+//! Run with: `cargo bench --bench batch_inference`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snn::{Engine, Precision};
+use snn_core::encoding::Encoder;
+use snn_core::network::{vgg9, Vgg9Config};
+use snn_core::tensor::Tensor;
+
+fn bench_batches(c: &mut Criterion) {
+    let cfg = Vgg9Config::cifar10_small();
+    let engine = Engine::builder()
+        .network(vgg9(&cfg).expect("vgg9 builds"))
+        .encoder(Encoder::paper_direct())
+        .precision(Precision::Int4)
+        .hardware_allocation("bench", &[1, 4, 2, 4, 2, 4, 4, 2, 1])
+        .build()
+        .expect("engine builds");
+    let mut session = engine.session();
+
+    let mut group = c.benchmark_group("batch_inference");
+    for &batch in &[1_usize, 8, 32] {
+        let images: Vec<Tensor> = (0..batch)
+            .map(|i| {
+                Tensor::from_fn(&[3, 16, 16], move |p| {
+                    (((p + 31 * i) as f32) * 0.017).sin().abs()
+                })
+            })
+            .collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &images, |b, images| {
+            b.iter(|| session.run_batch(images).expect("batch runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batches);
+criterion_main!(benches);

@@ -59,7 +59,10 @@ pub fn sweep_chunk_width(
         cfg.name = format!("{}-chunk{}", base.name, width);
         let accel = HybridAccelerator::from_geometry(geometry.to_vec(), cfg)?;
         let report = accel.estimate(traces)?;
-        out.push(AblationPoint::from_report(format!("chunk={width}"), &report));
+        out.push(AblationPoint::from_report(
+            format!("chunk={width}"),
+            &report,
+        ));
     }
     Ok(out)
 }
@@ -123,7 +126,10 @@ pub fn sweep_core_scaling(
     let mut out = Vec::with_capacity(factors.len());
     for &factor in factors {
         if factor == 0 {
-            return Err(SnnError::config("factor", "scaling factor must be positive"));
+            return Err(SnnError::config(
+                "factor",
+                "scaling factor must be positive",
+            ));
         }
         let mut cfg = base.clone();
         cfg.dense_rows *= factor;
@@ -144,19 +150,20 @@ mod tests {
     use crate::trace::{synthetic_traces, ActivityProfile};
     use snn_core::network::{vgg9, Vgg9Config};
 
-    fn setup() -> (HwConfig, Vec<snn_core::network::LayerGeometry>, Vec<LayerTrace>) {
+    fn setup() -> (
+        HwConfig,
+        Vec<snn_core::network::LayerGeometry>,
+        Vec<LayerTrace>,
+    ) {
         let geometry = vgg9(&Vgg9Config::cifar10_small())
             .unwrap()
             .geometry()
             .unwrap();
         let traces =
             synthetic_traces(&geometry, &ActivityProfile::paper_direct(geometry.len())).unwrap();
-        let cfg = HwConfig::from_allocation(
-            "ablation",
-            Precision::Int4,
-            &[1, 8, 4, 18, 6, 6, 20, 2, 1],
-        )
-        .unwrap();
+        let cfg =
+            HwConfig::from_allocation("ablation", Precision::Int4, &[1, 8, 4, 18, 6, 6, 20, 2, 1])
+                .unwrap();
         (cfg, geometry, traces)
     }
 

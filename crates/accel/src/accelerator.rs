@@ -108,10 +108,7 @@ impl HybridAccelerator {
     /// # Errors
     ///
     /// Same as [`HybridAccelerator::new`].
-    pub fn from_geometry(
-        geometry: Vec<LayerGeometry>,
-        config: HwConfig,
-    ) -> Result<Self, SnnError> {
+    pub fn from_geometry(geometry: Vec<LayerGeometry>, config: HwConfig) -> Result<Self, SnnError> {
         let sparse_layers = if config.dense_core_enabled {
             geometry.len().saturating_sub(1)
         } else {
@@ -151,16 +148,93 @@ impl HybridAccelerator {
         estimate_layers(&self.geometry, &self.config, timesteps)
     }
 
+    /// Precomputes the trace-independent part of an estimate — the resource
+    /// and power models for spike buffers sized to `timesteps` — so repeated
+    /// estimates (sessions, batches) share one plan instead of re-deriving
+    /// area and power per image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resource-model errors.
+    pub fn plan(&self, timesteps: usize) -> Result<EstimatePlan, SnnError> {
+        let resources = estimate_layers(&self.geometry, &self.config, timesteps.max(1))?;
+        let power_est =
+            power::estimate(&resources, self.config.precision, self.config.clock_gating);
+        let watts: Vec<f64> = power_est.layers.iter().map(|l| l.dynamic_watts).collect();
+        Ok(EstimatePlan {
+            config: self.config.clone(),
+            geometry: self.geometry.clone(),
+            timesteps,
+            total_dynamic_watts: power_est.total_dynamic_watts(),
+            static_watts: power_est.static_watts,
+            watts,
+            resources,
+        })
+    }
+
     /// Estimates latency, throughput, power and energy for one inference
     /// described by the spike traces of a `snn-core` network run.
     ///
     /// The traces may include pooling layers; only weight layers (those with
-    /// geometry) are consumed, in order.
+    /// geometry) are consumed, in order. This derives a fresh [`EstimatePlan`]
+    /// per call; hot paths should create the plan once via
+    /// [`HybridAccelerator::plan`] and call [`EstimatePlan::estimate`].
     ///
     /// # Errors
     ///
     /// Returns [`SnnError::ShapeMismatch`] if the number of weight-layer
     /// traces does not match the accelerator's geometry.
+    pub fn estimate(&self, traces: &[LayerTrace]) -> Result<InferenceReport, SnnError> {
+        let timesteps = traces
+            .iter()
+            .find(|t| t.geometry.is_some())
+            .map(|t| t.input_events.len())
+            .unwrap_or(0);
+        self.plan(timesteps)?.estimate(traces)
+    }
+}
+
+/// The precomputed, trace-independent part of an accelerator estimate: the
+/// hardware configuration, layer geometry, and the resource/power models for
+/// a fixed timestep count. Created by [`HybridAccelerator::plan`] and shared
+/// across every image of a session or batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatePlan {
+    config: HwConfig,
+    geometry: Vec<LayerGeometry>,
+    timesteps: usize,
+    total_dynamic_watts: f64,
+    static_watts: f64,
+    watts: Vec<f64>,
+    resources: ResourceEstimate,
+}
+
+impl EstimatePlan {
+    /// The timestep count the spike buffers were sized for.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// The hardware configuration behind the plan.
+    pub fn config(&self) -> &HwConfig {
+        &self.config
+    }
+
+    /// The precomputed resource estimate.
+    pub fn resources(&self) -> &ResourceEstimate {
+        &self.resources
+    }
+
+    /// Estimates one inference from its spike traces, reusing the plan's
+    /// precomputed area/power models. Only the per-layer cycle and energy
+    /// calculation runs per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the number of weight-layer
+    /// traces does not match the geometry, or [`SnnError::InvalidConfig`] if
+    /// the traces cover a different timestep count than the plan was sized
+    /// for.
     pub fn estimate(&self, traces: &[LayerTrace]) -> Result<InferenceReport, SnnError> {
         let weight_traces: Vec<&LayerTrace> =
             traces.iter().filter(|t| t.geometry.is_some()).collect();
@@ -168,13 +242,22 @@ impl HybridAccelerator {
             return Err(SnnError::shape(
                 &[self.geometry.len()],
                 &[weight_traces.len()],
-                "HybridAccelerator::estimate trace count",
+                "EstimatePlan::estimate trace count",
             ));
         }
         let timesteps = weight_traces
             .first()
             .map(|t| t.input_events.len())
             .unwrap_or(0);
+        if timesteps != self.timesteps {
+            return Err(SnnError::config(
+                "timesteps",
+                format!(
+                    "plan sized for {} timesteps but traces cover {timesteps}; re-plan first",
+                    self.timesteps
+                ),
+            ));
+        }
 
         // Per-layer cycles.
         let mut cycles = Vec::with_capacity(self.geometry.len());
@@ -185,7 +268,11 @@ impl HybridAccelerator {
                     .timing(geo.out_channels, geo.out_height, geo.out_width, timesteps)
                     .total_cycles
             } else {
-                let sparse_index = if self.config.dense_core_enabled { i - 1 } else { i };
+                let sparse_index = if self.config.dense_core_enabled {
+                    i - 1
+                } else {
+                    i
+                };
                 let ncs = self.config.cores_for_sparse_layer(sparse_index)?;
                 let core = SparseCore::new(ncs, self.config.chunk_bits);
                 if geo.is_conv {
@@ -197,17 +284,13 @@ impl HybridAccelerator {
             cycles.push(layer_cycles);
         }
 
-        // Area, power, energy.
-        let resources = estimate_layers(&self.geometry, &self.config, timesteps.max(1))?;
-        let power_est = power::estimate(&resources, self.config.precision, self.config.clock_gating);
         let names: Vec<String> = self.geometry.iter().map(|g| g.name.clone()).collect();
-        let watts: Vec<f64> = power_est.layers.iter().map(|l| l.dynamic_watts).collect();
         let energy_est = energy::estimate(
             &names,
             &cycles,
-            &watts,
+            &self.watts,
             self.config.clock_mhz,
-            power_est.static_watts,
+            self.static_watts,
         );
 
         let layers: Vec<LayerPerf> = self
@@ -216,16 +299,16 @@ impl HybridAccelerator {
             .enumerate()
             .map(|(i, geo)| LayerPerf {
                 name: geo.name.clone(),
-                neural_cores: resources.layers[i].neural_cores,
+                neural_cores: self.resources.layers[i].neural_cores,
                 input_events: weight_traces[i].total_input_events(),
                 cycles: cycles[i],
                 busy_ms: energy_est.layers[i].busy_ms,
-                dynamic_watts: watts[i],
+                dynamic_watts: self.watts[i],
                 dynamic_mj: energy_est.layers[i].dynamic_mj,
-                luts: resources.layers[i].luts,
-                ffs: resources.layers[i].ffs,
-                bram: resources.layers[i].bram,
-                uram: resources.layers[i].uram,
+                luts: self.resources.layers[i].luts,
+                ffs: self.resources.layers[i].ffs,
+                bram: self.resources.layers[i].bram,
+                uram: self.resources.layers[i].uram,
             })
             .collect();
 
@@ -244,11 +327,11 @@ impl HybridAccelerator {
             throughput_fps,
             dynamic_energy_mj: energy_est.dynamic_mj(),
             total_energy_mj: energy_est.total_mj(),
-            total_dynamic_watts: power_est.total_dynamic_watts(),
-            static_watts: power_est.static_watts,
+            total_dynamic_watts: self.total_dynamic_watts,
+            static_watts: self.static_watts,
             total_input_events: layers.iter().map(|l| l.input_events).sum(),
-            fits_device: resources.fits(),
-            resources,
+            fits_device: self.resources.fits(),
+            resources: self.resources.clone(),
             layers,
         })
     }
@@ -263,7 +346,7 @@ mod tests {
     use snn_core::tensor::Tensor;
 
     fn small_traces(encoder: &Encoder) -> (SnnNetwork, Vec<LayerTrace>) {
-        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
         let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.011).sin().abs());
         let traces = net.run(&image, encoder).unwrap().traces;
         (net, traces)
@@ -344,8 +427,14 @@ mod tests {
         for nc in &mut perf4.neural_cores {
             *nc *= 4;
         }
-        let a = HybridAccelerator::new(&net, lw).unwrap().estimate(&traces).unwrap();
-        let b = HybridAccelerator::new(&net, perf4).unwrap().estimate(&traces).unwrap();
+        let a = HybridAccelerator::new(&net, lw)
+            .unwrap()
+            .estimate(&traces)
+            .unwrap();
+        let b = HybridAccelerator::new(&net, perf4)
+            .unwrap()
+            .estimate(&traces)
+            .unwrap();
         assert!(b.latency_ms < a.latency_ms);
         assert!(b.throughput_fps > a.throughput_fps);
     }

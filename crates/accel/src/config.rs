@@ -90,9 +90,12 @@ impl HwConfig {
         allocation: &[usize],
     ) -> Result<Self, SnnError> {
         if allocation.is_empty() {
-            return Err(SnnError::config("allocation", "allocation must be non-empty"));
+            return Err(SnnError::config(
+                "allocation",
+                "allocation must be non-empty",
+            ));
         }
-        if allocation.iter().any(|&n| n == 0) {
+        if allocation.contains(&0) {
             return Err(SnnError::config(
                 "allocation",
                 "every layer needs at least one core",
@@ -193,10 +196,9 @@ impl HwConfig {
     /// Returns [`SnnError::IndexOutOfBounds`] when the index exceeds the
     /// allocation.
     pub fn cores_for_sparse_layer(&self, index: usize) -> Result<usize, SnnError> {
-        self.neural_cores
-            .get(index)
-            .copied()
-            .ok_or_else(|| SnnError::index(index, self.neural_cores.len(), "neural core allocation"))
+        self.neural_cores.get(index).copied().ok_or_else(|| {
+            SnnError::index(index, self.neural_cores.len(), "neural core allocation")
+        })
     }
 }
 

@@ -84,7 +84,10 @@ impl DenseCore {
         frames: &[Tensor],
     ) -> Result<(SpikeVolume, DenseTiming), SnnError> {
         if frames.is_empty() {
-            return Err(SnnError::config("frames", "at least one input frame is required"));
+            return Err(SnnError::config(
+                "frames",
+                "at least one input frame is required",
+            ));
         }
         let out_shape = conv.output_shape(frames[0].shape())?;
         let (out_c, out_h, out_w) = (out_shape[0], out_shape[1], out_shape[2]);

@@ -62,7 +62,10 @@ pub fn allocate_balanced(
     budget: usize,
 ) -> Result<Allocation, SnnError> {
     if workloads.is_empty() {
-        return Err(SnnError::config("workloads", "no layers to allocate cores to"));
+        return Err(SnnError::config(
+            "workloads",
+            "no layers to allocate cores to",
+        ));
     }
     if budget < workloads.len() {
         return Err(SnnError::config(
@@ -141,7 +144,7 @@ mod tests {
     use snn_core::tensor::Tensor;
 
     fn workloads() -> Vec<CycleWorkload> {
-        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
         let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.07).cos().abs());
         let traces = net.run(&image, &Encoder::direct(2)).unwrap().traces;
         from_traces(&traces).unwrap()

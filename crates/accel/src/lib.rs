@@ -45,6 +45,6 @@ pub mod sparse_core;
 pub mod trace;
 pub mod workload;
 
-pub use accelerator::{HybridAccelerator, InferenceReport, LayerPerf};
+pub use accelerator::{EstimatePlan, HybridAccelerator, InferenceReport, LayerPerf};
 pub use config::{HwConfig, PerfScale};
 pub use resources::{LayerResources, XCVU13P};

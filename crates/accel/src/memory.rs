@@ -259,9 +259,8 @@ mod tests {
         let ncs = [28, 12, 54, 16, 72, 70, 19, 4];
         let fp32 = plan(&geo, &ncs, params(Precision::Fp32));
         let int4 = plan(&geo, &ncs, params(Precision::Int4));
-        let blocks = |m: &[LayerMemory]| -> u64 {
-            m.iter().map(|l| l.bram_blocks + l.uram_blocks).sum()
-        };
+        let blocks =
+            |m: &[LayerMemory]| -> u64 { m.iter().map(|l| l.bram_blocks + l.uram_blocks).sum() };
         let ratio = blocks(&fp32) as f64 / blocks(&int4) as f64;
         // The paper reports ~3.4× fewer BRAM/URAM blocks for int4 (Sec. V-B).
         assert!(
@@ -309,7 +308,10 @@ mod tests {
         let geo = paper_geometry();
         let mem = plan(&geo, &[1; 8], params(Precision::Int4));
         for l in &mem {
-            assert_eq!(l.total_bits(), l.weight_bits + l.membrane_bits + l.spike_bits);
+            assert_eq!(
+                l.total_bits(),
+                l.weight_bits + l.membrane_bits + l.spike_bits
+            );
         }
     }
 }

@@ -153,7 +153,10 @@ mod tests {
         let fp32 = table1_power(Precision::Fp32).total_dynamic_watts();
         let ratio = fp32 / int4;
         // Table I reports 2.82×; accept anything comfortably above 1.5×.
-        assert!(ratio > 1.5, "fp32/int4 dynamic power ratio {ratio:.2} too small");
+        assert!(
+            ratio > 1.5,
+            "fp32/int4 dynamic power ratio {ratio:.2} too small"
+        );
     }
 
     #[test]

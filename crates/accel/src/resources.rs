@@ -207,7 +207,7 @@ pub fn estimate_layers(
     );
     let quantized = config.precision.is_quantized();
     let mut layers = Vec::with_capacity(geometry.len());
-    for (i, (geo, layer_mem)) in geometry.iter().zip(mem.into_iter()).enumerate() {
+    for (i, (geo, layer_mem)) in geometry.iter().zip(mem).enumerate() {
         let is_dense = config.dense_core_enabled && i == 0;
         let (logic_luts, logic_ffs, ncs) = if is_dense {
             let pes = 27.0 * config.dense_rows as f64;

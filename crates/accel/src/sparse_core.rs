@@ -67,7 +67,10 @@ impl SparseCore {
     ///
     /// Panics if either parameter is zero.
     pub fn new(neural_cores: usize, chunk_bits: usize) -> Self {
-        assert!(neural_cores > 0, "sparse core needs at least one neural core");
+        assert!(
+            neural_cores > 0,
+            "sparse core needs at least one neural core"
+        );
         assert!(chunk_bits > 0, "compression chunk width must be positive");
         SparseCore {
             neural_cores,
@@ -160,11 +163,11 @@ impl SparseCore {
                 }
             }
             // Activation phase: LIF update with the accumulated current + bias.
-            for oc in 0..out_c {
+            for (oc, &channel_bias) in bias.iter().enumerate().take(out_c) {
                 let mut train = SpikeTrain::new(out_h * out_w);
                 for p in 0..out_h * out_w {
                     let idx = oc * out_h * out_w + p;
-                    let current = accumulator[idx] + bias[oc];
+                    let current = accumulator[idx] + channel_bias;
                     let (u, spike) = lif_update(lif, membrane[idx], current, fired[idx]);
                     membrane[idx] = u;
                     fired[idx] = spike;
@@ -285,7 +288,12 @@ impl SparseCore {
         }
     }
 
-    fn linear_step_timing(&self, events: u64, in_features: usize, out_features: usize) -> SparseTiming {
+    fn linear_step_timing(
+        &self,
+        events: u64,
+        in_features: usize,
+        out_features: usize,
+    ) -> SparseTiming {
         let outputs_per_nc = out_features.div_ceil(self.neural_cores) as u64;
         let compression = (in_features as u64).div_ceil(self.chunk_bits as u64) + events;
         let accumulation = events * outputs_per_nc;
@@ -307,7 +315,13 @@ mod tests {
     use snn_core::neuron::LifPopulation;
     use snn_core::tensor::Tensor;
 
-    fn random_spike_volume(timesteps: usize, c: usize, h: usize, w: usize, density: f64) -> SpikeVolume {
+    fn random_spike_volume(
+        timesteps: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        density: f64,
+    ) -> SpikeVolume {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(9);
         let mut vol = SpikeVolume::new(timesteps, c, h, w);
@@ -368,11 +382,7 @@ mod tests {
         let fc = Linear::with_kaiming_init(12, 6, &mut rng).unwrap();
         let lif = LifParams::new(0.5, 0.3).unwrap();
         let trains: Vec<SpikeTrain> = (0..4)
-            .map(|t| {
-                SpikeTrain::from_bools(
-                    &(0..12).map(|i| (i + t) % 3 == 0).collect::<Vec<_>>(),
-                )
-            })
+            .map(|t| SpikeTrain::from_bools(&(0..12).map(|i| (i + t) % 3 == 0).collect::<Vec<_>>()))
             .collect();
         let core = SparseCore::new(3, 16);
         let (out, _) = core.run_linear(&fc, lif, &trains).unwrap();

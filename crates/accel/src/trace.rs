@@ -120,13 +120,16 @@ pub fn synthetic_traces(
         ));
     }
     if profile.timesteps == 0 {
-        return Err(SnnError::config("timesteps", "at least one timestep is required"));
+        return Err(SnnError::config(
+            "timesteps",
+            "at least one timestep is required",
+        ));
     }
     let mut traces = Vec::with_capacity(geometry.len());
     // Events entering the first layer: dense analog pixels.
     let first = &geometry[0];
-    let mut incoming_per_step = (first.in_channels * first.in_height * first.in_width) as f64
-        * profile.input_density;
+    let mut incoming_per_step =
+        (first.in_channels * first.in_height * first.in_width) as f64 * profile.input_density;
     for (i, geo) in geometry.iter().enumerate() {
         let input_events: Vec<u64> = (0..profile.timesteps)
             .map(|_| incoming_per_step.round() as u64)
@@ -216,7 +219,10 @@ mod tests {
         )
         .unwrap();
         let reduction = 1.0 - total_spikes(&int4) as f64 / total_spikes(&fp32) as f64;
-        assert!((0.05..=0.15).contains(&reduction), "reduction {reduction:.3}");
+        assert!(
+            (0.05..=0.15).contains(&reduction),
+            "reduction {reduction:.3}"
+        );
     }
 
     #[test]

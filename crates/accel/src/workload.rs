@@ -102,7 +102,7 @@ mod tests {
     use snn_core::tensor::Tensor;
 
     fn traces() -> Vec<LayerTrace> {
-        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
         let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.05).sin().abs());
         net.run(&image, &Encoder::direct(2)).unwrap().traces
     }

@@ -22,7 +22,10 @@ fn dense_core_functional(c: &mut Criterion) {
     for rows in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
             let core = DenseCore::new(rows);
-            b.iter(|| core.run(&conv, LifParams::paper_default(), &frames).unwrap());
+            b.iter(|| {
+                core.run(&conv, LifParams::paper_default(), &frames)
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -1,57 +1,54 @@
-//! Criterion bench of the end-to-end flow: functional VGG9 inference on the
-//! scaled-down network plus the accelerator performance estimate, and a
-//! clock-gating ablation of the power model.
+//! Criterion bench of the end-to-end flow through the `Engine`/`Session`
+//! facade: fused inference + accelerator estimate on the scaled-down VGG9,
+//! the amortized trace re-estimation path, and a clock-gating ablation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use snn_accel::accelerator::HybridAccelerator;
-use snn_accel::config::HwConfig;
+use snn::core::network::{vgg9, Vgg9Config};
+use snn::{Encoder, Engine, Precision};
 use snn_bench::experiments::bench_image;
-use snn_core::encoding::Encoder;
-use snn_core::network::{vgg9, Vgg9Config};
-use snn_core::quant::Precision;
+
+fn small_engine() -> Engine {
+    Engine::builder()
+        .network(vgg9(&Vgg9Config::cifar10_small()).expect("vgg9 builds"))
+        .encoder(Encoder::paper_direct())
+        .precision(Precision::Int4)
+        .hardware_allocation("bench", &[1, 8, 4, 18, 6, 6, 20, 2, 1])
+        .build()
+        .expect("engine builds")
+}
 
 fn end_to_end_inference(c: &mut Criterion) {
-    let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let engine = small_engine();
+    let mut session = engine.session();
     let image = bench_image(&[3, 16, 16]);
-    c.bench_function("vgg9_small_direct_inference", |b| {
-        b.iter(|| net.run(&image, &Encoder::paper_direct()).unwrap());
+    c.bench_function("session_run_fused_inference", |b| {
+        b.iter(|| session.run(&image).expect("run succeeds"));
     });
 }
 
 fn accelerator_estimate(c: &mut Criterion) {
-    let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let engine = small_engine();
+    let mut session = engine.session();
     let image = bench_image(&[3, 16, 16]);
-    let traces = net.run(&image, &Encoder::paper_direct()).unwrap().traces;
-    let cfg = HwConfig::from_allocation(
-        "bench",
-        Precision::Int4,
-        &[1, 4, 2, 4, 2, 4, 4, 2, 1],
-    )
-    .unwrap();
-    let accel = HybridAccelerator::new(&net, cfg).unwrap();
-    c.bench_function("accelerator_estimate", |b| {
-        b.iter(|| accel.estimate(&traces).unwrap());
+    let traces = session.run(&image).expect("run succeeds").traces;
+    c.bench_function("plan_estimate_recorded_traces", |b| {
+        b.iter(|| session.estimate(&traces).expect("estimate succeeds"));
     });
 }
 
 fn clock_gating_ablation(c: &mut Criterion) {
-    let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let engine = small_engine();
+    let mut session = engine.session();
     let image = bench_image(&[3, 16, 16]);
-    let traces = net.run(&image, &Encoder::paper_direct()).unwrap().traces;
-    let base = HwConfig::from_allocation(
-        "bench",
-        Precision::Int4,
-        &[1, 4, 2, 4, 2, 4, 4, 2, 1],
-    )
-    .unwrap();
+    let traces = session.run(&image).expect("run succeeds").traces;
     let mut group = c.benchmark_group("clock_gating_ablation");
-    for (label, cfg) in [
-        ("gated", base.clone()),
-        ("ungated", base.without_clock_gating()),
+    for (label, hw) in [
+        ("gated", engine.hardware().clone()),
+        ("ungated", engine.hardware().clone().without_clock_gating()),
     ] {
-        let accel = HybridAccelerator::new(&net, cfg).unwrap();
+        let variant = engine.with_hardware(hw).expect("hardware is valid");
         group.bench_function(label, |b| {
-            b.iter(|| accel.estimate(&traces).unwrap());
+            b.iter(|| variant.plan().estimate(&traces).expect("estimate succeeds"));
         });
     }
     group.finish();

@@ -37,7 +37,10 @@ fn sparse_core_vs_density(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{density:.2}")),
             &input,
             |b, input| {
-                b.iter(|| core.run_conv(&conv, LifParams::paper_default(), input).unwrap());
+                b.iter(|| {
+                    core.run_conv(&conv, LifParams::paper_default(), input)
+                        .unwrap()
+                });
             },
         );
     }
@@ -78,7 +81,10 @@ fn sparse_core_vs_chunk_width(c: &mut Criterion) {
     for chunk in [8usize, 32, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
             let core = SparseCore::new(8, chunk);
-            b.iter(|| core.run_conv(&conv, LifParams::paper_default(), &input).unwrap());
+            b.iter(|| {
+                core.run_conv(&conv, LifParams::paper_default(), &input)
+                    .unwrap()
+            });
         });
     }
     group.finish();

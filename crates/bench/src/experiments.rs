@@ -1,9 +1,10 @@
 //! Shared experiment infrastructure: scales, dataset/model pairings and the
 //! trained-model cache used by the accuracy experiments.
 
+use snn::{Engine, PerfScale};
 use snn_core::encoding::Encoder;
 use snn_core::error::SnnError;
-use snn_core::network::{vgg9, LayerTrace, SnnNetwork, Vgg9Config};
+use snn_core::network::{vgg9, SnnNetwork, Vgg9Config};
 use snn_core::quant::Precision;
 use snn_core::tensor::Tensor;
 use snn_data::{Dataset, Split, SyntheticConfig, SyntheticDataset};
@@ -73,11 +74,7 @@ pub fn small_dataset(name: &str, scale: ExperimentScale) -> SyntheticDataset {
         "cifar100" => SyntheticConfig::cifar100_like(),
         _ => SyntheticConfig::cifar10_like(),
     };
-    SyntheticDataset::generate(base.scaled_down(
-        16,
-        scale.train_samples(),
-        scale.eval_samples(),
-    ))
+    SyntheticDataset::generate(base.scaled_down(16, scale.train_samples(), scale.eval_samples()))
 }
 
 /// Builds the scaled-down VGG9 matching [`small_dataset`].
@@ -150,36 +147,44 @@ pub fn train_and_evaluate(
     })
 }
 
-/// Collects paper-scale spike traces for a dataset by running the paper-scale
-/// VGG9 (at the given precision) on a handful of synthetic images. The
-/// returned traces average over the images by concatenation: the accelerator
-/// estimate is computed per image and the caller typically averages the
-/// reports.
+/// Builds an [`Engine`] around the paper-scale VGG9 for a dataset: weights
+/// quantized to `precision`, the given encoder, and the paper's lightweight
+/// (`LW`) hardware preset. Hardware sweeps derive scaled variants via
+/// [`Engine::with_hardware`], which shares the quantized weights.
 ///
 /// # Errors
 ///
-/// Propagates inference errors.
-pub fn paper_scale_traces(
+/// Propagates model/hardware validation errors.
+pub fn paper_engine(
     dataset_name: &str,
     precision: Precision,
     encoder: Encoder,
-    images: usize,
-) -> Result<Vec<Vec<LayerTrace>>, SnnError> {
-    let mut network = paper_network(dataset_name)?;
-    network.apply_precision(precision)?;
+) -> Result<Engine, SnnError> {
+    Engine::builder()
+        .network(paper_network(dataset_name)?)
+        .encoder(encoder)
+        .precision(precision)
+        .hardware_paper(dataset_name, PerfScale::Lw)
+        .build()
+}
+
+/// Synthetic paper-scale (32×32) test images for a dataset, used to drive
+/// hardware-model experiments through [`paper_engine`].
+pub fn paper_scale_images(dataset_name: &str, images: usize) -> Vec<Tensor> {
     let config = match dataset_name {
         "svhn" => SyntheticConfig::svhn_like(),
         "cifar100" => SyntheticConfig::cifar100_like(),
         _ => SyntheticConfig::cifar10_like(),
     };
-    let data = SyntheticDataset::generate(config.scaled_down(32, images.max(1), images.max(1)));
-    let mut all = Vec::with_capacity(images);
-    for i in 0..images.max(1) {
-        let sample = data.sample(Split::Test, i % data.len(Split::Test));
-        let out = network.run_seeded(&sample.image, &encoder, i as u64)?;
-        all.push(out.traces);
-    }
-    Ok(all)
+    let count = images.max(1);
+    let data = SyntheticDataset::generate(config.scaled_down(32, count, count));
+    (0..count)
+        .map(|i| {
+            data.sample(Split::Test, i % data.len(Split::Test))
+                .image
+                .clone()
+        })
+        .collect()
 }
 
 /// Convenience: a deterministic synthetic image of a given shape, used by the

@@ -15,7 +15,9 @@
 //! threshold). The deviation from the paper's QAT-vs-QAT protocol is recorded
 //! in EXPERIMENTS.md.
 
-use crate::experiments::{paper_accuracy_reference, small_dataset, small_network, ExperimentScale, DATASETS};
+use crate::experiments::{
+    paper_accuracy_reference, small_dataset, small_network, ExperimentScale, DATASETS,
+};
 use serde::{Deserialize, Serialize};
 use snn_core::encoding::Encoder;
 use snn_core::error::SnnError;

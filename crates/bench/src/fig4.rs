@@ -10,9 +10,8 @@
 //! spike traces, then evaluates every (precision × scale) configuration on
 //! the same traces with the accelerator model.
 
-use crate::experiments::{paper_scale_traces, ExperimentScale, DATASETS};
+use crate::experiments::{paper_engine, paper_scale_images, ExperimentScale, DATASETS};
 use serde::{Deserialize, Serialize};
-use snn_accel::accelerator::HybridAccelerator;
 use snn_accel::config::{HwConfig, PerfScale};
 use snn_core::encoding::Encoder;
 use snn_core::error::SnnError;
@@ -81,21 +80,26 @@ pub fn run(scale: ExperimentScale) -> Result<Fig4Report, SnnError> {
     let mut points = Vec::new();
     for dataset in DATASETS {
         for precision in [Precision::Fp32, Precision::Int4] {
-            let traces = paper_scale_traces(dataset, precision, encoder, scale.trace_images())?;
-            let geometry = crate::experiments::paper_network(dataset)?.geometry()?;
+            // One engine runs the network batch; scaled engines share the
+            // quantized weights and re-estimate the recorded traces under
+            // LW / perf2 / perf4 hardware.
+            let engine = paper_engine(dataset, precision, encoder)?;
+            let images = paper_scale_images(dataset, scale.trace_images());
+            let batch = engine.session().run_batch(&images)?;
             for hw_scale in PerfScale::all() {
-                let cfg = HwConfig::paper(dataset, precision, hw_scale)?;
-                let accel = HybridAccelerator::from_geometry(geometry.clone(), cfg)?;
+                let scaled =
+                    engine.with_hardware(HwConfig::paper(dataset, precision, hw_scale)?)?;
+                let plan = scaled.plan();
                 let mut energy = 0.0;
                 let mut latency = 0.0;
                 let mut watts = 0.0;
-                for trace in &traces {
-                    let report = accel.estimate(trace)?;
+                for run in &batch.reports {
+                    let report = plan.estimate(&run.traces)?;
                     energy += report.dynamic_energy_mj;
                     latency += report.latency_ms;
                     watts = report.total_dynamic_watts;
                 }
-                let n = traces.len().max(1) as f64;
+                let n = batch.len().max(1) as f64;
                 points.push(EnergyPoint {
                     dataset: dataset.to_string(),
                     precision: precision.to_string(),
@@ -131,7 +135,13 @@ pub fn render(report: &Fig4Report) -> String {
             })
             .collect();
         out.push_str(&format_table(
-            &["Precision", "Config", "Energy [mJ]", "Latency [ms]", "Dyn. power [W]"],
+            &[
+                "Precision",
+                "Config",
+                "Energy [mJ]",
+                "Latency [ms]",
+                "Dyn. power [W]",
+            ],
             &rows,
         ));
         out.push_str(&format!(

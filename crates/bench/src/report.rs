@@ -82,7 +82,7 @@ mod tests {
 
     #[test]
     fn num_and_ratio_formatting() {
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(2.71729, 2), "2.72");
         assert_eq!(num(f64::NAN, 2), "-");
         assert_eq!(ratio(26.43), "26.4x");
         assert_eq!(ratio(f64::INFINITY), "-");

@@ -181,8 +181,14 @@ mod tests {
     fn table1_ratios_follow_the_paper_direction() {
         let report = run().unwrap();
         assert!(report.lut_ratio > 1.0, "fp32 must need more LUTs");
-        assert!(report.memory_ratio > 1.0, "fp32 must need more memory blocks");
-        assert!(report.power_ratio > 1.5, "fp32 must burn more dynamic power");
+        assert!(
+            report.memory_ratio > 1.0,
+            "fp32 must need more memory blocks"
+        );
+        assert!(
+            report.power_ratio > 1.5,
+            "fp32 must burn more dynamic power"
+        );
         assert_eq!(report.int4.layers.len(), 9);
         let text = render(&report);
         assert!(text.contains("CONV1_1"));

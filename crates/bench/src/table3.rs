@@ -100,7 +100,11 @@ pub fn run(_scale: ExperimentScale) -> Result<Table3Report, SnnError> {
     let pairs = [
         ("svhn", PerfScale::Perf4, PriorWork::syncnn_svhn()),
         ("cifar10", PerfScale::Perf2, PriorWork::syncnn_cifar10()),
-        ("cifar100", PerfScale::Perf4, PriorWork::gerlinghoff_cifar100()),
+        (
+            "cifar100",
+            PerfScale::Perf4,
+            PriorWork::gerlinghoff_cifar100(),
+        ),
     ];
     let mut blocks = Vec::new();
     for (dataset, hw_scale, prior) in pairs {
@@ -156,8 +160,17 @@ pub fn render(report: &Table3Report) -> String {
     }
     let mut out = format_table(
         &[
-            "Dataset", "Study", "Network", "Prec", "Acc [%]", "Platform", "FMax [MHz]",
-            "Power [W]", "Latency [ms]", "Energy [mJ]", "FPS",
+            "Dataset",
+            "Study",
+            "Network",
+            "Prec",
+            "Acc [%]",
+            "Platform",
+            "FMax [MHz]",
+            "Power [W]",
+            "Latency [ms]",
+            "Energy [mJ]",
+            "FPS",
         ],
         &rows,
     );
@@ -191,7 +204,12 @@ mod tests {
             energy_mj: 16.1,
             throughput_fps: 218.0,
         };
-        let comparison = compare(&prior, ours.throughput_fps, ours.power_watts, ours.accuracy_percent);
+        let comparison = compare(
+            &prior,
+            ours.throughput_fps,
+            ours.power_watts,
+            ours.accuracy_percent,
+        );
         let report = Table3Report {
             blocks: vec![DatasetBlock {
                 prior,

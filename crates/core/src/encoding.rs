@@ -108,7 +108,10 @@ impl Encoder {
     /// Returns [`SnnError::InvalidConfig`] if `timesteps == 0`.
     pub fn encode(&self, image: &Tensor, seed: u64) -> Result<Vec<Tensor>, SnnError> {
         if self.timesteps == 0 {
-            return Err(SnnError::config("timesteps", "must encode at least one timestep"));
+            return Err(SnnError::config(
+                "timesteps",
+                "must encode at least one timestep",
+            ));
         }
         match self.scheme {
             CodingScheme::Direct => Ok(vec![image.clone(); self.timesteps]),
@@ -143,9 +146,7 @@ impl Encoder {
     /// benches use to reason about workload without sampling.
     pub fn expected_input_events(&self, image: &Tensor) -> f64 {
         match self.scheme {
-            CodingScheme::Direct => {
-                image.count_nonzero() as f64 * self.timesteps as f64
-            }
+            CodingScheme::Direct => image.count_nonzero() as f64 * self.timesteps as f64,
             CodingScheme::Rate => {
                 let sum_prob: f64 = image
                     .as_slice()

@@ -86,7 +86,10 @@ impl Checkpoint {
         fs::write(path.as_ref(), json).map_err(|e| {
             SnnError::config(
                 "path",
-                format!("failed to write checkpoint {}: {e}", path.as_ref().display()),
+                format!(
+                    "failed to write checkpoint {}: {e}",
+                    path.as_ref().display()
+                ),
             )
         })
     }
@@ -120,7 +123,7 @@ mod tests {
 
     #[test]
     fn json_roundtrip_preserves_network_behaviour() {
-        let mut original = sample_network();
+        let original = sample_network();
         let checkpoint = Checkpoint::new(original.clone())
             .with_metadata("dataset", "cifar10-small")
             .with_metadata("precision", "fp32");
@@ -129,7 +132,7 @@ mod tests {
         assert_eq!(restored.metadata["dataset"], "cifar10-small");
 
         // The restored network must produce identical inference results.
-        let mut restored_net = restored.network;
+        let restored_net = restored.network;
         let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.03).sin().abs());
         let a = original.run(&image, &Encoder::direct(2)).unwrap();
         let b = restored_net.run(&image, &Encoder::direct(2)).unwrap();

@@ -34,7 +34,10 @@ impl BatchNorm2d {
     /// Returns [`SnnError::InvalidConfig`] if `channels == 0`.
     pub fn new(channels: usize) -> Result<Self, SnnError> {
         if channels == 0 {
-            return Err(SnnError::config("channels", "channel count must be positive"));
+            return Err(SnnError::config(
+                "channels",
+                "channel count must be positive",
+            ));
         }
         Ok(BatchNorm2d {
             channels,
@@ -127,7 +130,10 @@ impl BatchNorm2d {
     /// or [`SnnError::InvalidConfig`] if `samples` is empty.
     pub fn forward_training(&mut self, samples: &[Tensor]) -> Result<Vec<Tensor>, SnnError> {
         if samples.is_empty() {
-            return Err(SnnError::config("samples", "training batch must be non-empty"));
+            return Err(SnnError::config(
+                "samples",
+                "training batch must be non-empty",
+            ));
         }
         for s in samples {
             if s.ndim() != 3 || s.shape()[0] != self.channels {
@@ -169,8 +175,10 @@ impl BatchNorm2d {
         for c in 0..self.channels {
             let rm = self.running_mean.as_slice()[c];
             let rv = self.running_var.as_slice()[c];
-            self.running_mean.as_mut_slice()[c] = (1.0 - self.momentum) * rm + self.momentum * mean[c];
-            self.running_var.as_mut_slice()[c] = (1.0 - self.momentum) * rv + self.momentum * var[c];
+            self.running_mean.as_mut_slice()[c] =
+                (1.0 - self.momentum) * rm + self.momentum * mean[c];
+            self.running_var.as_mut_slice()[c] =
+                (1.0 - self.momentum) * rv + self.momentum * var[c];
         }
         // Normalise with the batch statistics.
         let mut out = Vec::with_capacity(samples.len());
@@ -282,8 +290,12 @@ mod tests {
         let conv = Conv2d::with_kaiming_init(2, 3, 3, 1, 1, &mut rng).unwrap();
         let mut bn = BatchNorm2d::new(3).unwrap();
         // Give BN non-trivial statistics.
-        bn.gamma_mut().as_mut_slice().copy_from_slice(&[1.2, 0.8, 1.0]);
-        bn.beta_mut().as_mut_slice().copy_from_slice(&[0.1, -0.2, 0.05]);
+        bn.gamma_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[1.2, 0.8, 1.0]);
+        bn.beta_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[0.1, -0.2, 0.05]);
         let input = Tensor::from_fn(&[2, 6, 6], |i| ((i as f32) * 0.13).sin());
         let separate = bn.forward(&conv.forward(&input).unwrap()).unwrap();
         let folded = bn.fold_into_conv(&conv).unwrap();

@@ -2,7 +2,7 @@
 
 use crate::error::SnnError;
 use crate::quant::{fake_quantize, Precision};
-use crate::tensor::{matmul, Tensor};
+use crate::tensor::{matmul, Im2Col, Tensor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -53,7 +53,10 @@ impl Conv2d {
         padding: usize,
     ) -> Result<Self, SnnError> {
         if in_channels == 0 || out_channels == 0 {
-            return Err(SnnError::config("channels", "channel counts must be positive"));
+            return Err(SnnError::config(
+                "channels",
+                "channel counts must be positive",
+            ));
         }
         if kernel == 0 {
             return Err(SnnError::config("kernel", "kernel size must be positive"));
@@ -152,9 +155,18 @@ impl Conv2d {
     /// Returns [`SnnError::ShapeMismatch`] if the shape differs from
     /// `[out_channels, in_channels, k, k]`.
     pub fn set_weight(&mut self, weight: Tensor) -> Result<(), SnnError> {
-        let expected = [self.out_channels, self.in_channels, self.kernel, self.kernel];
+        let expected = [
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+        ];
         if weight.shape() != expected {
-            return Err(SnnError::shape(&expected, weight.shape(), "Conv2d::set_weight"));
+            return Err(SnnError::shape(
+                &expected,
+                weight.shape(),
+                "Conv2d::set_weight",
+            ));
         }
         self.weight = weight;
         Ok(())
@@ -221,11 +233,40 @@ impl Conv2d {
     ///
     /// Returns [`SnnError::ShapeMismatch`] for a wrongly-shaped input.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, SnnError> {
+        let mut scratch = Im2Col::default();
+        self.forward_with_scratch(input, &mut scratch)
+    }
+
+    /// Like [`Conv2d::forward`] but lowers the input into a caller-provided
+    /// [`Im2Col`] buffer, so repeated inferences (sessions, batches) avoid the
+    /// dominant per-call allocation. Produces bit-identical results to
+    /// [`Conv2d::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Conv2d::forward`].
+    pub fn forward_with_scratch(
+        &self,
+        input: &Tensor,
+        scratch: &mut Im2Col,
+    ) -> Result<Tensor, SnnError> {
         let out_shape = self.output_shape(input.shape())?;
-        let cols = input.im2col((self.kernel, self.kernel), self.stride, self.padding)?;
+        input.im2col_into(
+            (self.kernel, self.kernel),
+            self.stride,
+            self.padding,
+            scratch,
+        )?;
+        let cols = &*scratch;
         // weight as [out_channels, in_channels * k * k] times cols [rows, cols].
         let k = self.coefficients_per_output();
-        let out = matmul(self.weight.as_slice(), &cols.data, self.out_channels, k, cols.cols);
+        let out = matmul(
+            self.weight.as_slice(),
+            &cols.data,
+            self.out_channels,
+            k,
+            cols.cols,
+        );
         let mut out_tensor = Tensor::from_vec(out, &out_shape)?;
         // Add the per-channel bias.
         let plane = out_shape[1] * out_shape[2];
@@ -315,7 +356,8 @@ mod tests {
     fn bias_is_added_per_channel() {
         let mut conv = Conv2d::new(1, 2, 1, 1, 0).unwrap();
         conv.set_weight(Tensor::zeros(&[2, 1, 1, 1])).unwrap();
-        conv.set_bias(Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap()).unwrap();
+        conv.set_bias(Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap())
+            .unwrap();
         let out = conv.forward(&Tensor::zeros(&[1, 2, 2])).unwrap();
         assert_eq!(&out.as_slice()[..4], &[1.5; 4]);
         assert_eq!(&out.as_slice()[4..], &[-2.0; 4]);
@@ -390,9 +432,7 @@ mod tests {
                         if (0..5).contains(&oy) && (0..5).contains(&ox) {
                             let w = conv.weight().get(&[oc, 0, ky, kx]).unwrap();
                             let cur = event.get(&[oc, oy as usize, ox as usize]).unwrap();
-                            event
-                                .set(&[oc, oy as usize, ox as usize], cur + w)
-                                .unwrap();
+                            event.set(&[oc, oy as usize, ox as usize], cur + w).unwrap();
                         }
                     }
                 }

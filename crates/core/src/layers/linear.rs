@@ -41,7 +41,10 @@ impl Linear {
     /// Returns [`SnnError::InvalidConfig`] if either dimension is zero.
     pub fn new(in_features: usize, out_features: usize) -> Result<Self, SnnError> {
         if in_features == 0 || out_features == 0 {
-            return Err(SnnError::config("features", "feature counts must be positive"));
+            return Err(SnnError::config(
+                "features",
+                "feature counts must be positive",
+            ));
         }
         Ok(Linear {
             in_features,
@@ -205,8 +208,11 @@ mod tests {
         let mut fc = Linear::new(3, 2).unwrap();
         fc.set_weight(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap())
             .unwrap();
-        fc.set_bias(Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap()).unwrap();
-        let out = fc.forward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]).unwrap()).unwrap();
+        fc.set_bias(Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap())
+            .unwrap();
+        let out = fc
+            .forward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]).unwrap())
+            .unwrap();
         assert_eq!(out.as_slice(), &[6.5, 14.5]);
     }
 
@@ -254,6 +260,9 @@ mod tests {
         let fc = Linear::with_kaiming_init(16, 8, &mut rng).unwrap();
         let q = fc.to_precision(Precision::Int4).unwrap();
         assert_ne!(q.weight(), fc.weight());
-        assert_eq!(fc.storage_bits(Precision::Int4) * 8, fc.storage_bits(Precision::Fp32));
+        assert_eq!(
+            fc.storage_bits(Precision::Int4) * 8,
+            fc.storage_bits(Precision::Fp32)
+        );
     }
 }

@@ -43,7 +43,10 @@ impl SpikeMaxPool2d {
     /// Returns [`SnnError::InvalidConfig`] if `size < 2`.
     pub fn new(size: usize) -> Result<Self, SnnError> {
         if size < 2 {
-            return Err(SnnError::config("size", "pooling window must be at least 2"));
+            return Err(SnnError::config(
+                "size",
+                "pooling window must be at least 2",
+            ));
         }
         Ok(SpikeMaxPool2d { size })
     }
@@ -62,7 +65,11 @@ impl SpikeMaxPool2d {
     /// [`SnnError::InvalidConfig`] if the input is smaller than the window.
     pub fn output_shape(&self, input_shape: &[usize]) -> Result<[usize; 3], SnnError> {
         if input_shape.len() != 3 {
-            return Err(SnnError::shape(&[0, 0, 0], input_shape, "SpikeMaxPool2d::output_shape"));
+            return Err(SnnError::shape(
+                &[0, 0, 0],
+                input_shape,
+                "SpikeMaxPool2d::output_shape",
+            ));
         }
         let (c, h, w) = (input_shape[0], input_shape[1], input_shape[2]);
         if h < self.size || w < self.size {

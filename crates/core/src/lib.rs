@@ -49,6 +49,7 @@ pub mod stats;
 pub mod tensor;
 
 pub use error::SnnError;
+pub use network::{RunOutput, RunState, SnnNetwork};
 pub use neuron::{LifParams, LifPopulation};
 pub use spike::{SpikeRecord, SpikeTrain};
 pub use tensor::Tensor;

@@ -16,6 +16,13 @@
 //! [`SnnNetwork::run`] performs direct- or rate-coded inference over `T`
 //! timesteps and returns both the classification result and the per-layer
 //! spike traces that drive the accelerator simulator and the workload model.
+//!
+//! Weights and run state are split: [`SnnNetwork`] is immutable during
+//! inference and can be shared across threads, while all mutable state
+//! (membrane potentials, firing history, im2col scratch) lives in a
+//! [`RunState`] that [`SnnNetwork::run_with_state`] resets and reuses across
+//! runs. The `snn` facade crate's `Engine`/`Session` API builds directly on
+//! this split.
 
 use crate::encoding::Encoder;
 use crate::error::SnnError;
@@ -23,12 +30,16 @@ use crate::layers::{BatchNorm2d, Conv2d, Linear, SpikeMaxPool2d};
 use crate::neuron::{LifParams, LifPopulation};
 use crate::quant::Precision;
 use crate::spike::{SpikeRecord, SpikeVolume};
-use crate::tensor::Tensor;
+use crate::tensor::{Im2Col, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// One stage of the network.
+// The conv/linear variants intentionally carry their (large) weight tensors
+// inline: layers are long-lived and iterated in sequence, so boxing would
+// only add indirection on the hot forward path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Layer {
     /// Spiking convolution: conv → (optional BN) → LIF.
@@ -60,7 +71,9 @@ impl Layer {
     /// The layer's name.
     pub fn name(&self) -> &str {
         match self {
-            Layer::Conv { name, .. } | Layer::Pool { name, .. } | Layer::Linear { name, .. } => name,
+            Layer::Conv { name, .. } | Layer::Pool { name, .. } | Layer::Linear { name, .. } => {
+                name
+            }
         }
     }
 
@@ -167,6 +180,68 @@ pub struct RunOutput {
     pub timesteps: usize,
 }
 
+/// Mutable per-run state of one inference stream, split out from the
+/// (immutable, shareable) [`SnnNetwork`] weights.
+///
+/// Holds the per-layer LIF populations (membrane potentials and firing
+/// history) and the im2col scratch buffer the convolution layers lower into.
+/// A `RunState` is created once per session/thread via [`RunState::new`] and
+/// reused across runs by [`SnnNetwork::run_with_state`], which resets it
+/// between images instead of reallocating — the enabler for batched and,
+/// later, parallel inference over one shared network.
+#[derive(Debug, Clone)]
+pub struct RunState {
+    /// Per-layer LIF state, index-aligned with the network's layers
+    /// (`None` for pooling layers).
+    lif: Vec<Option<LifPopulation>>,
+    /// Shared im2col lowering buffer, reused by every conv layer.
+    conv_scratch: Im2Col,
+}
+
+impl RunState {
+    /// Preallocates run state (membranes, firing history, scratch) for
+    /// `network`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors for inconsistent layer shapes.
+    pub fn new(network: &SnnNetwork) -> Result<Self, SnnError> {
+        let geometry = network.geometry()?;
+        let mut geo_iter = geometry.iter();
+        let lif = network
+            .layers()
+            .iter()
+            .map(|layer| {
+                if layer.is_weight_layer() {
+                    let geo = geo_iter
+                        .next()
+                        .expect("geometry has one entry per weight layer");
+                    Some(LifPopulation::new(
+                        geo.output_neurons(),
+                        network.lif_params(),
+                    ))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Ok(RunState {
+            lif,
+            conv_scratch: Im2Col::default(),
+        })
+    }
+
+    /// Returns membranes and firing history to the rest state and clears the
+    /// spike statistics, making the next run independent of the previous one.
+    /// Allocations are kept.
+    pub fn reset(&mut self) {
+        for pop in self.lif.iter_mut().flatten() {
+            pop.reset();
+            pop.reset_statistics();
+        }
+    }
+}
+
 /// A feed-forward spiking network: a sequence of [`Layer`]s, each weight layer
 /// followed by a shared-parameter LIF population.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -193,7 +268,7 @@ impl SnnNetwork {
         num_classes: usize,
         population: usize,
     ) -> Result<Self, SnnError> {
-        if num_classes == 0 || population == 0 || population % num_classes != 0 {
+        if num_classes == 0 || population == 0 || !population.is_multiple_of(num_classes) {
             return Err(SnnError::config(
                 "population",
                 "population must be a positive multiple of the class count",
@@ -339,11 +414,16 @@ impl SnnNetwork {
     /// Runs inference on one image with the given encoder, collecting
     /// per-layer spike traces.
     ///
+    /// Weights are immutable during inference (`&self`): concurrent runs only
+    /// need their own [`RunState`]. For repeated inference prefer
+    /// [`SnnNetwork::run_with_state`], which amortizes the LIF-state and
+    /// im2col allocations across runs.
+    ///
     /// # Errors
     ///
     /// Returns shape errors if the image does not match the network's input
     /// shape, or any layer-level error encountered during the forward pass.
-    pub fn run(&mut self, image: &Tensor, encoder: &Encoder) -> Result<RunOutput, SnnError> {
+    pub fn run(&self, image: &Tensor, encoder: &Encoder) -> Result<RunOutput, SnnError> {
         self.run_seeded(image, encoder, 0)
     }
 
@@ -354,10 +434,35 @@ impl SnnNetwork {
     ///
     /// Same as [`SnnNetwork::run`].
     pub fn run_seeded(
-        &mut self,
+        &self,
         image: &Tensor,
         encoder: &Encoder,
         seed: u64,
+    ) -> Result<RunOutput, SnnError> {
+        let mut state = RunState::new(self)?;
+        self.run_with_state(image, encoder, seed, &mut state)
+    }
+
+    /// Runs one inference reusing a preallocated [`RunState`] (membrane
+    /// potentials, spike history and im2col scratch). This is the hot path
+    /// behind the facade crate's `Session::run`/`run_batch`: the state is
+    /// reset — not reallocated — between images, so batched inference does
+    /// not pay the per-run allocation cost of [`SnnNetwork::run_seeded`].
+    ///
+    /// Results are bitwise-identical to [`SnnNetwork::run_seeded`] with the
+    /// same image, encoder and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if the image does not match the network's input
+    /// shape or the state was built for a different network, plus any
+    /// layer-level error encountered during the forward pass.
+    pub fn run_with_state(
+        &self,
+        image: &Tensor,
+        encoder: &Encoder,
+        seed: u64,
+        state: &mut RunState,
     ) -> Result<RunOutput, SnnError> {
         if image.shape() != self.input_shape {
             return Err(SnnError::shape(
@@ -366,12 +471,18 @@ impl SnnNetwork {
                 "SnnNetwork::run input image",
             ));
         }
+        if state.lif.len() != self.layers.len() {
+            return Err(SnnError::shape(
+                &[self.layers.len()],
+                &[state.lif.len()],
+                "RunState layer count",
+            ));
+        }
+        state.reset();
         let frames = encoder.encode(image, seed)?;
         let timesteps = frames.len();
         let geometry = self.geometry()?;
 
-        // Per-weight-layer LIF state.
-        let mut lif_states: Vec<Option<LifPopulation>> = vec![None; self.layers.len()];
         // Per-layer accumulators.
         let mut input_events: Vec<Vec<u64>> = vec![vec![0; timesteps]; self.layers.len()];
         let mut output_spikes: Vec<Vec<u64>> = vec![vec![0; timesteps]; self.layers.len()];
@@ -386,13 +497,14 @@ impl SnnNetwork {
                 input_events[li][t] = x.count_nonzero() as u64;
                 match layer {
                     Layer::Conv { conv, bn, .. } => {
-                        let mut current = conv.forward(&x)?;
+                        let mut current = conv.forward_with_scratch(&x, &mut state.conv_scratch)?;
                         if let Some(b) = bn {
                             current = b.forward(&current)?;
                         }
-                        let state = lif_states[li]
-                            .get_or_insert_with(|| LifPopulation::new(current.len(), self.lif));
-                        let spikes = state.step_tensor(&current)?;
+                        let lif_state = state.lif[li].as_mut().ok_or_else(|| {
+                            SnnError::config("state", "RunState missing LIF state for conv layer")
+                        })?;
+                        let spikes = lif_state.step_tensor(&current)?;
                         output_spikes[li][t] = spikes.count_nonzero() as u64;
                         output_neurons[li] = spikes.len() as u64;
                         spike_frames[li].push(spikes.clone());
@@ -406,9 +518,10 @@ impl SnnNetwork {
                     }
                     Layer::Linear { linear, .. } => {
                         let current = linear.forward(&x)?;
-                        let state = lif_states[li]
-                            .get_or_insert_with(|| LifPopulation::new(current.len(), self.lif));
-                        let spikes = state.step_tensor(&current)?;
+                        let lif_state = state.lif[li].as_mut().ok_or_else(|| {
+                            SnnError::config("state", "RunState missing LIF state for linear layer")
+                        })?;
+                        let spikes = lif_state.step_tensor(&current)?;
                         output_spikes[li][t] = spikes.count_nonzero() as u64;
                         output_neurons[li] = spikes.len() as u64;
                         x = spikes;
@@ -594,7 +707,7 @@ pub fn vgg9(cfg: &Vgg9Config) -> Result<SnnNetwork, SnnError> {
 ///
 /// Same as [`vgg9`].
 pub fn vgg9_with_lif(cfg: &Vgg9Config, lif: LifParams) -> Result<SnnNetwork, SnnError> {
-    if cfg.image_size % 8 != 0 {
+    if !cfg.image_size.is_multiple_of(8) {
         return Err(SnnError::config(
             "image_size",
             "image size must be divisible by 8 (three 2x2 pooling stages)",
@@ -688,14 +801,16 @@ mod tests {
         // Rebuild with a bad population.
         let layers = net.layers().to_vec();
         assert!(SnnNetwork::new(layers.clone(), LifParams::default(), [3, 16, 16], 10, 0).is_err());
-        assert!(SnnNetwork::new(layers.clone(), LifParams::default(), [3, 16, 16], 10, 41).is_err());
+        assert!(
+            SnnNetwork::new(layers.clone(), LifParams::default(), [3, 16, 16], 10, 41).is_err()
+        );
         assert!(SnnNetwork::new(layers, LifParams::default(), [3, 16, 16], 10, 40).is_ok());
     }
 
     #[test]
     fn run_direct_coding_produces_traces_for_every_layer() {
         let cfg = Vgg9Config::cifar10_small();
-        let mut net = vgg9(&cfg).unwrap();
+        let net = vgg9(&cfg).unwrap();
         let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.017).sin().abs());
         let out = net.run(&image, &Encoder::direct(2)).unwrap();
         assert_eq!(out.logits.len(), 10);
@@ -703,10 +818,7 @@ mod tests {
         assert_eq!(out.traces.len(), net.layers().len());
         assert_eq!(out.record.num_layers(), net.layers().len());
         // The direct-coded input layer sees analog inputs at every timestep.
-        assert_eq!(
-            out.traces[0].input_events.len(),
-            2,
-        );
+        assert_eq!(out.traces[0].input_events.len(), 2,);
         assert!(out.traces[0].total_input_events() > 0);
         // Conv layers carry spike volumes.
         assert!(out.traces[0].spikes.is_some());
@@ -715,7 +827,7 @@ mod tests {
 
     #[test]
     fn run_rejects_wrong_image_shape() {
-        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
         let image = Tensor::zeros(&[3, 32, 32]);
         assert!(net.run(&image, &Encoder::direct(2)).is_err());
     }
@@ -723,7 +835,7 @@ mod tests {
     #[test]
     fn rate_coding_run_is_binary_at_input() {
         let cfg = Vgg9Config::cifar10_small();
-        let mut net = vgg9(&cfg).unwrap();
+        let net = vgg9(&cfg).unwrap();
         let image = Tensor::full(&[3, 16, 16], 0.5);
         let out = net.run_seeded(&image, &Encoder::rate(3), 5).unwrap();
         assert_eq!(out.timesteps, 3);
@@ -777,8 +889,8 @@ mod tests {
     fn more_timesteps_never_reduce_total_spikes() {
         let cfg = Vgg9Config::cifar10_small();
         let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.031).cos().abs());
-        let mut net_a = vgg9(&cfg).unwrap();
-        let mut net_b = vgg9(&cfg).unwrap();
+        let net_a = vgg9(&cfg).unwrap();
+        let net_b = vgg9(&cfg).unwrap();
         let short = net_a.run(&image, &Encoder::direct(1)).unwrap();
         let long = net_b.run(&image, &Encoder::direct(3)).unwrap();
         assert!(long.record.total_spikes() >= short.record.total_spikes());

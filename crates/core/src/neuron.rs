@@ -227,12 +227,7 @@ impl LifPopulation {
 /// storage itself (e.g. the sparse-core BRAM model). Returns the new membrane
 /// potential and whether the neuron fires, given the previous potential, the
 /// accumulated input and whether the neuron fired on the previous step.
-pub fn lif_update(
-    params: LifParams,
-    membrane: f32,
-    input: f32,
-    fired_last: bool,
-) -> (f32, bool) {
+pub fn lif_update(params: LifParams, membrane: f32, input: f32, fired_last: bool) -> (f32, bool) {
     let reset = if fired_last { params.threshold } else { 0.0 };
     let next = params.beta * membrane + input - reset;
     (next, next > params.threshold)

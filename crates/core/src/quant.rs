@@ -98,7 +98,10 @@ impl QuantParams {
     /// data contains non-finite values.
     pub fn from_tensor(tensor: &Tensor, precision: Precision) -> Result<Self, SnnError> {
         let q_max = precision.q_max().ok_or_else(|| {
-            SnnError::config("precision", "cannot derive quantization parameters for fp32")
+            SnnError::config(
+                "precision",
+                "cannot derive quantization parameters for fp32",
+            )
         })?;
         if !tensor.is_finite() {
             return Err(SnnError::numerical(
@@ -296,7 +299,8 @@ mod tests {
 
     #[test]
     fn int4_values_stay_on_grid() {
-        let t = Tensor::from_vec((0..32).map(|i| (i as f32 - 16.0) / 7.0).collect(), &[32]).unwrap();
+        let t =
+            Tensor::from_vec((0..32).map(|i| (i as f32 - 16.0) / 7.0).collect(), &[32]).unwrap();
         let q = QuantizedTensor::quantize(&t, Precision::Int4).unwrap();
         assert!(q.values().iter().all(|&v| (-7..=7).contains(&v)));
         assert_eq!(q.storage_bits(), 32 * 4);

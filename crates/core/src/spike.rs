@@ -86,7 +86,11 @@ impl SpikeTrain {
     ///
     /// Panics if `index >= len()`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "spike index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "spike index {index} out of range {}",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -96,7 +100,11 @@ impl SpikeTrain {
     ///
     /// Panics if `index >= len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "spike index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "spike index {index} out of range {}",
+            self.len
+        );
         let word = &mut self.words[index / 64];
         let mask = 1u64 << (index % 64);
         if value {
@@ -127,7 +135,11 @@ impl SpikeTrain {
         IterOnes {
             train: self,
             word_idx: 0,
-            current: if self.words.is_empty() { 0 } else { self.words[0] },
+            current: if self.words.is_empty() {
+                0
+            } else {
+                self.words[0]
+            },
         }
     }
 

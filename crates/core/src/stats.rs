@@ -159,7 +159,11 @@ impl AggregateSpikeStats {
             self.layer_names = record.layer_names.clone();
             self.per_layer_spikes = vec![0; record.num_layers()];
         }
-        for (acc, &s) in self.per_layer_spikes.iter_mut().zip(record.output_spikes.iter()) {
+        for (acc, &s) in self
+            .per_layer_spikes
+            .iter_mut()
+            .zip(record.output_spikes.iter())
+        {
             *acc += s;
         }
         self.total_spikes += record.total_spikes();
@@ -210,7 +214,7 @@ mod tests {
     use crate::tensor::Tensor;
 
     fn sample_traces() -> Vec<LayerTrace> {
-        let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
         let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.05).sin().abs());
         net.run(&image, &Encoder::direct(2)).unwrap().traces
     }
@@ -229,7 +233,10 @@ mod tests {
         let traces = sample_traces();
         let w = layer_workloads(&traces);
         for lw in w.iter().filter(|l| l.is_conv) {
-            assert_eq!(lw.operations, lw.coefficients * lw.out_channels * lw.input_events);
+            assert_eq!(
+                lw.operations,
+                lw.coefficients * lw.out_channels * lw.input_events
+            );
             assert_eq!(lw.coefficients, 9);
         }
     }
@@ -247,7 +254,10 @@ mod tests {
     fn total_workload_is_sum() {
         let traces = sample_traces();
         let w = layer_workloads(&traces);
-        assert_eq!(total_workload(&w), w.iter().map(|l| l.operations).sum::<u64>());
+        assert_eq!(
+            total_workload(&w),
+            w.iter().map(|l| l.operations).sum::<u64>()
+        );
     }
 
     #[test]

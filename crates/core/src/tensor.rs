@@ -220,7 +220,11 @@ impl Tensor {
     /// Returns [`SnnError::ShapeMismatch`] if the shapes differ.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, SnnError> {
         if self.shape != other.shape {
-            return Err(SnnError::shape(&self.shape, &other.shape, "Tensor::zip_map"));
+            return Err(SnnError::shape(
+                &self.shape,
+                &other.shape,
+                "Tensor::zip_map",
+            ));
         }
         Ok(Tensor {
             shape: self.shape.clone(),
@@ -337,6 +341,25 @@ impl Tensor {
         stride: usize,
         padding: usize,
     ) -> Result<Im2Col, SnnError> {
+        let mut out = Im2Col::default();
+        self.im2col_into(kernel, stride, padding, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Tensor::im2col`] but reuses the buffer of an existing [`Im2Col`],
+    /// avoiding the large per-call allocation on hot inference paths. The
+    /// buffer is resized as needed and its previous contents are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tensor::im2col`].
+    pub fn im2col_into(
+        &self,
+        kernel: (usize, usize),
+        stride: usize,
+        padding: usize,
+        out: &mut Im2Col,
+    ) -> Result<(), SnnError> {
         if self.shape.len() != 3 {
             return Err(SnnError::shape(&[0, 0, 0], &self.shape, "Tensor::im2col"));
         }
@@ -357,7 +380,9 @@ impl Tensor {
         let out_w = (padded_w - kw) / stride + 1;
         let rows = c * kh * kw;
         let cols = out_h * out_w;
-        let mut data = vec![0.0_f32; rows * cols];
+        out.data.clear();
+        out.data.resize(rows * cols, 0.0);
+        let data = &mut out.data;
         for ci in 0..c {
             let channel = &self.data[ci * h * w..(ci + 1) * h * w];
             for ki in 0..kh {
@@ -381,13 +406,11 @@ impl Tensor {
                 }
             }
         }
-        Ok(Im2Col {
-            data,
-            rows,
-            cols,
-            out_h,
-            out_w,
-        })
+        out.rows = rows;
+        out.cols = cols;
+        out.out_h = out_h;
+        out.out_w = out_w;
+        Ok(())
     }
 
     /// Inverse of [`Tensor::im2col`]: scatters a `[C * kh * kw, out_h * out_w]`
@@ -510,7 +533,7 @@ impl AddAssign<&Tensor> for Tensor {
 ///
 /// The matrix is stored row-major with `rows = C * kh * kw` and
 /// `cols = out_h * out_w`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Im2Col {
     /// Row-major matrix data.
     pub data: Vec<f32>,

@@ -106,8 +106,14 @@ mod tests {
     fn flip_moves_left_column_to_right() {
         let img = image();
         let flipped = horizontal_flip(&img);
-        assert_eq!(flipped.get(&[0, 0, 3]).unwrap(), img.get(&[0, 0, 0]).unwrap());
-        assert_eq!(flipped.get(&[1, 2, 0]).unwrap(), img.get(&[1, 2, 3]).unwrap());
+        assert_eq!(
+            flipped.get(&[0, 0, 3]).unwrap(),
+            img.get(&[0, 0, 0]).unwrap()
+        );
+        assert_eq!(
+            flipped.get(&[1, 2, 0]).unwrap(),
+            img.get(&[1, 2, 3]).unwrap()
+        );
     }
 
     #[test]

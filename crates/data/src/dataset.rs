@@ -51,7 +51,9 @@ pub trait Dataset {
 
     /// Convenience: all samples of a split, materialised.
     fn samples(&self, split: Split) -> Vec<Sample> {
-        (0..self.len(split)).map(|i| self.sample(split, i)).collect()
+        (0..self.len(split))
+            .map(|i| self.sample(split, i))
+            .collect()
     }
 }
 

@@ -295,7 +295,9 @@ mod tests {
     #[test]
     fn labels_cover_all_classes_in_round_robin() {
         let d = tiny(SyntheticConfig::cifar10_like());
-        let labels: Vec<usize> = (0..d.len(Split::Train)).map(|i| d.sample(Split::Train, i).label).collect();
+        let labels: Vec<usize> = (0..d.len(Split::Train))
+            .map(|i| d.sample(Split::Train, i).label)
+            .collect();
         for class in 0..10 {
             assert!(labels.contains(&class), "class {class} missing");
         }

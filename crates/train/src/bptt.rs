@@ -274,7 +274,9 @@ impl Bptt {
             let out = x.as_slice();
             for (class, score) in class_scores.iter_mut().enumerate() {
                 let start = class * group;
-                *score += out[start..(start + group).min(out.len())].iter().sum::<f32>();
+                *score += out[start..(start + group).min(out.len())]
+                    .iter()
+                    .sum::<f32>();
             }
         }
 
@@ -306,8 +308,8 @@ impl Bptt {
             match layer {
                 Layer::Pool { pool, .. } => {
                     let mut grad_in = Vec::with_capacity(timesteps);
-                    for t in 0..timesteps {
-                        grad_in.push(pool_backward(pool, &caches[li].inputs[t], &grad_out[t])?);
+                    for (t, grad) in grad_out.iter().enumerate().take(timesteps) {
+                        grad_in.push(pool_backward(pool, &caches[li].inputs[t], grad)?);
                     }
                     grad_out = grad_in;
                 }
@@ -316,13 +318,14 @@ impl Bptt {
                     let beta = lif.beta;
                     let mut grad_in: Vec<Tensor> = vec![Tensor::default(); timesteps];
                     let mut carry = Tensor::zeros(caches[li].membranes[0].shape());
-                    let acc = gradients.per_layer[li].as_mut().expect("conv layer has grads");
+                    let acc = gradients.per_layer[li]
+                        .as_mut()
+                        .expect("conv layer has grads");
                     for t in (0..timesteps).rev() {
                         let u = &caches[li].membranes[t];
                         // ∂L/∂u[t] = ∂L/∂s[t]·σ'(u[t]) + β·carry
-                        let mut grad_u = grad_out[t].zip_map(u, |gs, uu| {
-                            gs * self.surrogate.derivative(uu, theta)
-                        })?;
+                        let mut grad_u = grad_out[t]
+                            .zip_map(u, |gs, uu| gs * self.surrogate.derivative(uu, theta))?;
                         grad_u += &carry.scale(beta);
                         carry = grad_u.clone();
                         // Through the (eval-mode) BN affine transform.
@@ -354,13 +357,14 @@ impl Bptt {
                     let beta = lif.beta;
                     let mut grad_in: Vec<Tensor> = vec![Tensor::default(); timesteps];
                     let mut carry = Tensor::zeros(caches[li].membranes[0].shape());
-                    let acc = gradients.per_layer[li].as_mut().expect("linear layer has grads");
+                    let acc = gradients.per_layer[li]
+                        .as_mut()
+                        .expect("linear layer has grads");
                     for t in (0..timesteps).rev() {
                         let u = &caches[li].membranes[t];
                         let grad_out_flat = grad_out[t].reshape(u.shape())?;
-                        let mut grad_u = grad_out_flat.zip_map(u, |gs, uu| {
-                            gs * self.surrogate.derivative(uu, theta)
-                        })?;
+                        let mut grad_u = grad_out_flat
+                            .zip_map(u, |gs, uu| gs * self.surrogate.derivative(uu, theta))?;
                         grad_u += &carry.scale(beta);
                         carry = grad_u.clone();
                         let grads = linear_backward(
@@ -506,12 +510,16 @@ mod tests {
             if let Some(g) = &grads[li] {
                 match layer {
                     Layer::Conv { conv, .. } => {
-                        adam.step(&format!("{li}.w"), conv.weight_mut(), &g.weight).unwrap();
-                        adam.step(&format!("{li}.b"), conv.bias_mut(), &g.bias).unwrap();
+                        adam.step(&format!("{li}.w"), conv.weight_mut(), &g.weight)
+                            .unwrap();
+                        adam.step(&format!("{li}.b"), conv.bias_mut(), &g.bias)
+                            .unwrap();
                     }
                     Layer::Linear { linear, .. } => {
-                        adam.step(&format!("{li}.w"), linear.weight_mut(), &g.weight).unwrap();
-                        adam.step(&format!("{li}.b"), linear.bias_mut(), &g.bias).unwrap();
+                        adam.step(&format!("{li}.w"), linear.weight_mut(), &g.weight)
+                            .unwrap();
+                        adam.step(&format!("{li}.b"), linear.bias_mut(), &g.bias)
+                            .unwrap();
                     }
                     Layer::Pool { .. } => {}
                 }

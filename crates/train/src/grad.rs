@@ -46,7 +46,7 @@ pub fn conv2d_backward(
     conv: &Conv2d,
     input: &Tensor,
     grad_output: &Tensor,
-    ) -> Result<ConvGrads, SnnError> {
+) -> Result<ConvGrads, SnnError> {
     let out_shape = conv.output_shape(input.shape())?;
     if grad_output.shape() != out_shape {
         return Err(SnnError::shape(
@@ -63,10 +63,7 @@ pub fn conv2d_backward(
 
     // grad_w [out_c, coeffs] = grad_out [out_c, spatial] * cols^T [spatial, coeffs]
     let grad_w_flat = matmul_a_bt(grad_output.as_slice(), &cols.data, out_c, spatial, coeffs);
-    let grad_weight = Tensor::from_vec(
-        grad_w_flat,
-        &[out_c, conv.in_channels(), k, k],
-    )?;
+    let grad_weight = Tensor::from_vec(grad_w_flat, &[out_c, conv.in_channels(), k, k])?;
 
     // grad_b [out_c] = sum over spatial of grad_out.
     let mut grad_bias = vec![0.0_f32; out_c];
@@ -78,7 +75,13 @@ pub fn conv2d_backward(
     let grad_bias = Tensor::from_vec(grad_bias, &[out_c])?;
 
     // grad_cols [coeffs, spatial] = W^T [coeffs, out_c] * grad_out [out_c, spatial]
-    let grad_cols_data = matmul_at_b(conv.weight().as_slice(), grad_output.as_slice(), out_c, coeffs, spatial);
+    let grad_cols_data = matmul_at_b(
+        conv.weight().as_slice(),
+        grad_output.as_slice(),
+        out_c,
+        coeffs,
+        spatial,
+    );
     let grad_cols = snn_core::tensor::Im2Col {
         data: grad_cols_data,
         rows: coeffs,
@@ -137,7 +140,13 @@ pub fn linear_backward(
     let grad_bias = Tensor::from_vec(grad_output.as_slice().to_vec(), &[n_out])?;
     // grad_x [in] = W^T [in, out] * grad_out [out]
     let grad_input = Tensor::from_vec(
-        matmul_at_b(linear.weight().as_slice(), grad_output.as_slice(), n_out, n_in, 1),
+        matmul_at_b(
+            linear.weight().as_slice(),
+            grad_output.as_slice(),
+            n_out,
+            n_in,
+            1,
+        ),
         &[n_in],
     )?;
     Ok(LinearGrads {
@@ -250,7 +259,9 @@ mod tests {
         let conv = Conv2d::new(1, 2, 3, 1, 1).unwrap();
         let input = Tensor::ones(&[1, 4, 4]);
         let mut grad_out = Tensor::zeros(&[2, 4, 4]);
-        grad_out.as_mut_slice()[..16].iter_mut().for_each(|v| *v = 2.0);
+        grad_out.as_mut_slice()[..16]
+            .iter_mut()
+            .for_each(|v| *v = 2.0);
         let grads = conv2d_backward(&conv, &input, &grad_out).unwrap();
         assert_eq!(grads.bias.as_slice(), &[32.0, 0.0]);
     }
@@ -294,10 +305,7 @@ mod tests {
         let grad_out = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
         let grads = linear_backward(&fc, &input, &grad_out).unwrap();
         // grad_w = grad_out (outer) input.
-        assert_eq!(
-            grads.weight.as_slice(),
-            &[0.5, -1.0, 2.0, -0.5, 1.0, -2.0]
-        );
+        assert_eq!(grads.weight.as_slice(), &[0.5, -1.0, 2.0, -0.5, 1.0, -2.0]);
         assert_eq!(grads.bias.as_slice(), &[1.0, -1.0]);
         // grad_x = W^T grad_out = [1-4, 2-5, 3-6].
         assert_eq!(grads.input.as_slice(), &[-3.0, -3.0, -3.0]);

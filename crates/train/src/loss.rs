@@ -31,7 +31,11 @@ pub fn cross_entropy(logits: &[f32], target: usize) -> Result<(f32, Vec<f32>), S
         return Err(SnnError::config("logits", "logits must be non-empty"));
     }
     if target >= logits.len() {
-        return Err(SnnError::index(target, logits.len(), "cross_entropy target"));
+        return Err(SnnError::index(
+            target,
+            logits.len(),
+            "cross_entropy target",
+        ));
     }
     let probs = softmax(logits);
     let loss = -(probs[target].max(1e-12)).ln();
@@ -104,7 +108,11 @@ mod tests {
         assert!(grad.iter().sum::<f32>().abs() < 1e-6);
         // Target entry is negative, everything else positive.
         assert!(grad[2] < 0.0);
-        assert!(grad.iter().enumerate().filter(|(i, _)| *i != 2).all(|(_, &g)| g >= 0.0));
+        assert!(grad
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .all(|(_, &g)| g >= 0.0));
     }
 
     #[test]

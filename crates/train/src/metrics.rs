@@ -5,8 +5,8 @@
 //! confusion matrix, per-class accuracy and spike-rate summaries that the
 //! examples and harnesses use when reporting results.
 
-use snn_core::error::SnnError;
 use serde::{Deserialize, Serialize};
+use snn_core::error::SnnError;
 
 /// A confusion matrix over `n` classes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,7 +46,11 @@ impl ConfusionMatrix {
             return Err(SnnError::index(target, self.classes, "confusion target"));
         }
         if predicted >= self.classes {
-            return Err(SnnError::index(predicted, self.classes, "confusion prediction"));
+            return Err(SnnError::index(
+                predicted,
+                self.classes,
+                "confusion prediction",
+            ));
         }
         self.counts[target * self.classes + predicted] += 1;
         Ok(())

@@ -54,7 +54,9 @@ impl TrainConfig {
             grad_clip: Some(5.0),
             max_train_samples: None,
             seed: 0,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
 
@@ -159,7 +161,8 @@ impl Trainer {
             let mut index = 0usize;
             while index < limit {
                 let end = (index + self.config.batch_size).min(limit);
-                let batch: Vec<Sample> = (index..end).map(|i| data.sample(Split::Train, i)).collect();
+                let batch: Vec<Sample> =
+                    (index..end).map(|i| data.sample(Split::Train, i)).collect();
                 let results = self.batch_results(network, &batch, epoch as u64)?;
                 let mut grads = NetworkGradients::zeros_like(network);
                 for r in &results {
@@ -178,9 +181,15 @@ impl Trainer {
                 seen += results.len();
                 index = end;
             }
-            report.epoch_losses.push((epoch_loss / seen.max(1) as f64) as f32);
-            report.epoch_accuracies.push(correct as f64 / seen.max(1) as f64);
-            report.epoch_mean_spikes.push(spikes as f64 / seen.max(1) as f64);
+            report
+                .epoch_losses
+                .push((epoch_loss / seen.max(1) as f64) as f32);
+            report
+                .epoch_accuracies
+                .push(correct as f64 / seen.max(1) as f64);
+            report
+                .epoch_mean_spikes
+                .push(spikes as f64 / seen.max(1) as f64);
         }
         Ok(report)
     }
@@ -201,17 +210,23 @@ impl Trainer {
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    bptt.sample_gradients(network, &s.image, s.label, &encoder, base_seed + i as u64)
+                    bptt.sample_gradients(
+                        network,
+                        &s.image,
+                        s.label,
+                        &encoder,
+                        base_seed + i as u64,
+                    )
                 })
                 .collect();
         }
-        let results: Vec<Result<SampleResult, SnnError>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Result<SampleResult, SnnError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = batch
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
                     let net_ref = &*network;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         bptt.sample_gradients(
                             net_ref,
                             &s.image,
@@ -222,9 +237,11 @@ impl Trainer {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("thread scope failed");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
         results.into_iter().collect()
     }
 }
@@ -253,11 +270,19 @@ pub fn apply_gradients(
         };
         match layer {
             Layer::Conv { conv, .. } => {
-                optimizer.step(&format!("layer{li}.weight"), conv.weight_mut(), &grads.weight)?;
+                optimizer.step(
+                    &format!("layer{li}.weight"),
+                    conv.weight_mut(),
+                    &grads.weight,
+                )?;
                 optimizer.step(&format!("layer{li}.bias"), conv.bias_mut(), &grads.bias)?;
             }
             Layer::Linear { linear, .. } => {
-                optimizer.step(&format!("layer{li}.weight"), linear.weight_mut(), &grads.weight)?;
+                optimizer.step(
+                    &format!("layer{li}.weight"),
+                    linear.weight_mut(),
+                    &grads.weight,
+                )?;
                 optimizer.step(&format!("layer{li}.bias"), linear.bias_mut(), &grads.bias)?;
             }
             Layer::Pool { .. } => {}
@@ -318,7 +343,10 @@ mod tests {
         let cfg = TrainConfig::quick();
         assert_eq!(cfg.encoder, Encoder::paper_direct());
         assert_eq!(cfg.precision, Precision::Fp32);
-        assert_eq!(TrainConfig::quick_qat(Precision::Int4).precision, Precision::Int4);
+        assert_eq!(
+            TrainConfig::quick_qat(Precision::Int4).precision,
+            Precision::Int4
+        );
     }
 
     #[test]
@@ -380,7 +408,14 @@ mod tests {
     fn evaluate_reports_accuracy_and_spikes() {
         let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
         let data = tiny_data();
-        let report = evaluate(&mut net, &data, Split::Test, &Encoder::paper_direct(), Some(5)).unwrap();
+        let report = evaluate(
+            &mut net,
+            &data,
+            Split::Test,
+            &Encoder::paper_direct(),
+            Some(5),
+        )
+        .unwrap();
         assert_eq!(report.samples, 5);
         assert!(report.total_spikes > 0);
         assert!(report.mean_spikes_per_sample > 0.0);

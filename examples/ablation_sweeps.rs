@@ -5,17 +5,19 @@
 //!
 //! Run with: `cargo run --release --example ablation_sweeps`
 
-use snn_dse::accel::ablation::{
+use snn::accel::ablation::{
     sweep_chunk_width, sweep_clock_gating, sweep_core_scaling, sweep_precision, AblationPoint,
 };
-use snn_dse::accel::config::HwConfig;
-use snn_dse::accel::trace::{synthetic_traces, ActivityProfile};
-use snn_dse::core::network::{vgg9, Vgg9Config};
-use snn_dse::core::quant::Precision;
+use snn::accel::trace::{synthetic_traces, ActivityProfile};
+use snn::core::network::{vgg9, Vgg9Config};
+use snn::{HwConfig, PerfScale, Precision};
 
 fn print_points(title: &str, points: &[AblationPoint]) {
     println!("\n{title}");
-    println!("{:<12} {:>12} {:>10} {:>12} {:>12}", "param", "latency[ms]", "FPS", "energy[mJ]", "power[W]");
+    println!(
+        "{:<12} {:>12} {:>10} {:>12} {:>12}",
+        "param", "latency[ms]", "FPS", "energy[mJ]", "power[W]"
+    );
     for p in points {
         println!(
             "{:<12} {:>12.3} {:>10.0} {:>12.3} {:>12.3}",
@@ -28,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Paper-scale CIFAR-10 geometry with calibrated activity, LW int4 hardware.
     let geometry = vgg9(&Vgg9Config::cifar10())?.geometry()?;
     let traces = synthetic_traces(&geometry, &ActivityProfile::paper_direct(geometry.len()))?;
-    let base = HwConfig::paper("cifar10", Precision::Int4, snn_dse::accel::config::PerfScale::Lw)?;
+    let base = HwConfig::paper("cifar10", Precision::Int4, PerfScale::Lw)?;
 
     print_points(
         "ECU compression chunk width (bits scanned per cycle)",

@@ -4,21 +4,23 @@
 //!
 //! Run with: `cargo run --release --example design_space_exploration`
 
-use snn_dse::accel::dse::{allocate_balanced, lightweight_allocation};
-use snn_dse::accel::workload::from_traces;
-use snn_dse::core::encoding::Encoder;
-use snn_dse::core::network::{vgg9, Vgg9Config};
-use snn_dse::core::quant::Precision;
-use snn_dse::core::tensor::Tensor;
+use snn::accel::dse::{allocate_balanced, lightweight_allocation};
+use snn::accel::workload::from_traces;
+use snn::core::network::{vgg9, Vgg9Config};
+use snn::{Encoder, Engine, Precision, Tensor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Empirical workload: run the network once and record per-layer spikes,
-    // exactly as the paper acquires the S_i terms of Eq. 3.
-    let mut network = vgg9(&Vgg9Config::cifar10_small())?;
-    network.apply_precision(Precision::Int4)?;
+    // Empirical workload: run the network once through the engine and read
+    // the per-layer spikes from the report, exactly as the paper acquires the
+    // S_i terms of Eq. 3.
+    let engine = Engine::builder()
+        .network(vgg9(&Vgg9Config::cifar10_small())?)
+        .encoder(Encoder::paper_direct())
+        .precision(Precision::Int4)
+        .build()?;
     let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.013).sin().abs());
-    let traces = network.run(&image, &Encoder::paper_direct())?.traces;
-    let workloads = from_traces(&traces)?;
+    let report = engine.session().run(&image)?;
+    let workloads = from_traces(&report.traces)?;
 
     println!("Per-layer Eq. 3 workloads (single-core cycles):");
     for w in &workloads {

@@ -4,12 +4,11 @@
 //!
 //! Run with: `cargo run --release --example quantization_sparsity`
 
-use snn_dse::core::encoding::Encoder;
-use snn_dse::core::quant::Precision;
-use snn_dse::core::stats::SparsityComparison;
-use snn_dse::data::{Split, SyntheticConfig, SyntheticDataset};
-use snn_dse::train::trainer::{evaluate, TrainConfig, Trainer};
-use snn_dse::core::network::{vgg9, Vgg9Config};
+use snn::core::network::{vgg9, Vgg9Config};
+use snn::core::stats::SparsityComparison;
+use snn::data::{Split, SyntheticConfig, SyntheticDataset};
+use snn::train::trainer::{evaluate, TrainConfig, Trainer};
+use snn::{Encoder, Precision};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = SyntheticDataset::generate(SyntheticConfig::cifar10_like().scaled_down(16, 60, 30));
@@ -58,10 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 /// Folds an evaluation aggregate back into a `SpikeRecord` so the
 /// `SparsityComparison` helper can be reused.
-fn aggregate_to_record(
-    eval: &snn_dse::train::trainer::EvalReport,
-) -> snn_dse::core::spike::SpikeRecord {
-    let mut record = snn_dse::core::spike::SpikeRecord::new(1);
+fn aggregate_to_record(eval: &snn::train::trainer::EvalReport) -> snn::core::spike::SpikeRecord {
+    let mut record = snn::core::spike::SpikeRecord::new(1);
     for (name, &spikes) in eval
         .aggregate
         .layer_names

@@ -1,62 +1,74 @@
-//! Quickstart: build the paper's (scaled-down) VGG9, run one direct-coded
-//! inference, and estimate how the hybrid accelerator would execute it.
+//! Quickstart: build the paper's (scaled-down) VGG9 and run one direct-coded
+//! inference through the unified `Engine`/`Session` API — classification,
+//! per-layer spike traces and the hybrid accelerator's performance estimate
+//! all come back in a single `RunReport`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use snn_dse::accel::accelerator::HybridAccelerator;
-use snn_dse::accel::config::HwConfig;
-use snn_dse::core::encoding::Encoder;
-use snn_dse::core::network::{vgg9, Vgg9Config};
-use snn_dse::core::quant::Precision;
-use snn_dse::core::tensor::Tensor;
+use snn::core::network::{vgg9, Vgg9Config};
+use snn::{Encoder, Engine, Precision, Tensor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a scaled-down CIFAR-10-like VGG9 (7 conv + 2 FC layers, each
-    //    followed by a LIF population with the paper's beta/theta).
+    //    followed by a LIF population with the paper's beta/theta) and wrap
+    //    it into an engine: int4 deployment weights, direct coding at 2
+    //    timesteps, and the paper's LW-style neural-core allocation.
     let cfg = Vgg9Config::cifar10_small();
-    let mut network = vgg9(&cfg)?;
+    let engine = Engine::builder()
+        .network(vgg9(&cfg)?)
+        .encoder(Encoder::paper_direct())
+        .precision(Precision::Int4)
+        .hardware_allocation("quickstart-int4", &[1, 8, 4, 18, 6, 6, 20, 2, 1])
+        .build()?;
     println!(
         "Built {} with {} parameters across {} layers",
         cfg.name,
-        network.num_params(),
-        network.layers().len()
+        engine.network().num_params(),
+        engine.network().layers().len()
     );
 
-    // 2. Quantize the weights to int4, as the paper's QAT models are deployed.
-    network.apply_precision(Precision::Int4)?;
-
-    // 3. Run one direct-coded inference (2 timesteps) on a synthetic image.
+    // 2. Run one inference on a synthetic image. The report fuses what used
+    //    to be a manual two-step (network run, then accelerator estimate).
+    let mut session = engine.session();
     let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.021).sin().abs());
-    let output = network.run(&image, &Encoder::paper_direct())?;
+    let report = session.run(&image)?;
     println!(
         "Prediction: class {} | total spikes: {} | average sparsity: {:.1}%",
-        output.prediction,
-        output.record.total_spikes(),
-        output.record.average_sparsity() * 100.0
+        report.prediction,
+        report.record.total_spikes(),
+        report.record.average_sparsity() * 100.0
     );
-
-    // 4. Map the network onto the hybrid accelerator and estimate latency,
-    //    throughput and energy for this inference.
-    let hw = HwConfig::from_allocation(
-        "quickstart-int4",
-        Precision::Int4,
-        &[1, 8, 4, 18, 6, 6, 20, 2, 1],
-    )?;
-    let accelerator = HybridAccelerator::new(&network, hw)?;
-    let report = accelerator.estimate(&output.traces)?;
     println!(
         "Accelerator: {:.3} ms latency | {:.0} FPS | {:.3} mJ/image | {:.2} W dynamic | fits device: {}",
-        report.latency_ms,
-        report.throughput_fps,
-        report.dynamic_energy_mj,
-        report.total_dynamic_watts,
-        report.fits_device
+        report.hardware.latency_ms,
+        report.hardware.throughput_fps,
+        report.hardware.dynamic_energy_mj,
+        report.hardware.total_dynamic_watts,
+        report.hardware.fits_device
     );
-    for layer in &report.layers {
+    for layer in &report.hardware.layers {
         println!(
             "  {:<8} cores={:<3} cycles={:<9} power={:.3} W energy={:.4} mJ",
             layer.name, layer.neural_cores, layer.cycles, layer.dynamic_watts, layer.dynamic_mj
         );
     }
+
+    // 3. Batched inference reuses the session's preallocated buffers and is
+    //    bitwise-deterministic (image i runs with encoder seed i).
+    let images: Vec<Tensor> = (0..8)
+        .map(|k| {
+            Tensor::from_fn(&[3, 16, 16], move |i| {
+                (((i + 131 * k) as f32) * 0.021).sin().abs()
+            })
+        })
+        .collect();
+    let batch = session.run_batch(&images)?;
+    println!(
+        "\nBatch of {}: predictions {:?} | mean latency {:.3} ms | total energy {:.3} mJ",
+        batch.len(),
+        batch.predictions(),
+        batch.mean_latency_ms(),
+        batch.total_energy_mj
+    );
     Ok(())
 }

@@ -1,14 +1,11 @@
 //! Cross-crate integration test: dataset → training → quantization →
 //! inference → accelerator estimate, the full pipeline behind the paper's
-//! experiments, exercised at smoke scale.
+//! experiments, exercised at smoke scale through the `Engine`/`Session` API.
 
-use snn_dse::accel::accelerator::HybridAccelerator;
-use snn_dse::accel::config::HwConfig;
-use snn_dse::core::encoding::Encoder;
-use snn_dse::core::network::{vgg9, Vgg9Config};
-use snn_dse::core::quant::Precision;
-use snn_dse::data::{Dataset, Split, SyntheticConfig, SyntheticDataset};
-use snn_dse::train::trainer::{evaluate, TrainConfig, Trainer};
+use snn::core::network::{vgg9, Vgg9Config};
+use snn::data::{Dataset, Split, SyntheticConfig, SyntheticDataset};
+use snn::train::trainer::{evaluate, TrainConfig, Trainer};
+use snn::{Encoder, Engine, Precision};
 
 fn tiny_dataset() -> SyntheticDataset {
     SyntheticDataset::generate(SyntheticConfig::cifar10_like().scaled_down(16, 16, 8))
@@ -27,10 +24,11 @@ fn train_quantize_infer_and_estimate() {
     let report = trainer.fit(&mut network, &data).unwrap();
     assert!(report.final_loss().is_finite());
 
-    // Deploy at int4 and evaluate.
-    network.apply_precision(Precision::Int4).unwrap();
+    // Deploy at int4 (for the evaluation helper) and evaluate.
+    let mut eval_net = network.clone();
+    eval_net.apply_precision(Precision::Int4).unwrap();
     let eval = evaluate(
-        &mut network,
+        &mut eval_net,
         &data,
         Split::Test,
         &Encoder::paper_direct(),
@@ -40,34 +38,44 @@ fn train_quantize_infer_and_estimate() {
     assert_eq!(eval.samples, 4);
     assert!(eval.total_spikes > 0, "a trained SNN must emit spikes");
 
-    // Map one inference onto the accelerator.
+    // Wrap the trained weights into an engine (which applies the same int4
+    // deployment quantization) and run one fused inference.
+    let engine = Engine::builder()
+        .network(network)
+        .encoder(Encoder::paper_direct())
+        .precision(Precision::Int4)
+        .hardware_allocation("e2e-int4", &[1, 8, 4, 18, 6, 6, 20, 2, 1])
+        .build()
+        .unwrap();
     let sample = data.sample(Split::Test, 0);
-    let out = network.run(&sample.image, &Encoder::paper_direct()).unwrap();
-    let hw = HwConfig::from_allocation(
-        "e2e-int4",
-        Precision::Int4,
-        &[1, 8, 4, 18, 6, 6, 20, 2, 1],
-    )
-    .unwrap();
-    let accel = HybridAccelerator::new(&network, hw).unwrap();
-    let perf = accel.estimate(&out.traces).unwrap();
-    assert_eq!(perf.layers.len(), 9);
-    assert!(perf.latency_ms > 0.0);
-    assert!(perf.throughput_fps > 0.0);
-    assert!(perf.dynamic_energy_mj > 0.0);
-    assert!(perf.fits_device);
+    let perf = engine.session().run(&sample.image).unwrap();
+    assert_eq!(perf.hardware.layers.len(), 9);
+    assert!(perf.hardware.latency_ms > 0.0);
+    assert!(perf.hardware.throughput_fps > 0.0);
+    assert!(perf.hardware.dynamic_energy_mj > 0.0);
+    assert!(perf.hardware.fits_device);
 }
 
 #[test]
 fn quantized_deployment_changes_spike_counts_but_not_structure() {
     let data = tiny_dataset();
     let sample = data.sample(Split::Test, 1);
-    let mut fp32 = vgg9(&Vgg9Config::cifar10_small()).unwrap();
-    let mut int4 = vgg9(&Vgg9Config::cifar10_small()).unwrap();
-    int4.apply_precision(Precision::Int4).unwrap();
+    let alloc: &[usize] = &[1, 8, 4, 18, 6, 6, 20, 2, 1];
+    let fp32 = Engine::builder()
+        .network(vgg9(&Vgg9Config::cifar10_small()).unwrap())
+        .precision(Precision::Fp32)
+        .hardware_allocation("fp32", alloc)
+        .build()
+        .unwrap();
+    let int4 = Engine::builder()
+        .network(vgg9(&Vgg9Config::cifar10_small()).unwrap())
+        .precision(Precision::Int4)
+        .hardware_allocation("int4", alloc)
+        .build()
+        .unwrap();
 
-    let out_fp32 = fp32.run(&sample.image, &Encoder::paper_direct()).unwrap();
-    let out_int4 = int4.run(&sample.image, &Encoder::paper_direct()).unwrap();
+    let out_fp32 = fp32.session().run(&sample.image).unwrap();
+    let out_int4 = int4.session().run(&sample.image).unwrap();
     assert_eq!(out_fp32.traces.len(), out_int4.traces.len());
     assert_eq!(out_fp32.logits.len(), out_int4.logits.len());
     // Quantization perturbs the activity (almost surely), but both runs must
@@ -79,21 +87,33 @@ fn quantized_deployment_changes_spike_counts_but_not_structure() {
 #[test]
 fn fp32_and_int4_accelerators_rank_as_the_paper_reports() {
     // For identical traces, the int4 hardware must be cheaper in both power
-    // and energy — the core co-design claim of the paper.
+    // and energy — the core co-design claim of the paper. The fp32 *hardware*
+    // is evaluated on the fp32 engine's traces re-estimated under an fp32
+    // plan via the facade's trace re-estimation path.
     let data = tiny_dataset();
     let sample = data.sample(Split::Train, 0);
-    let mut network = vgg9(&Vgg9Config::cifar10_small()).unwrap();
-    let out = network.run(&sample.image, &Encoder::paper_direct()).unwrap();
+    let alloc: &[usize] = &[1, 8, 4, 18, 6, 6, 20, 2, 1];
 
-    let alloc = [1, 8, 4, 18, 6, 6, 20, 2, 1];
-    let int4_hw = HwConfig::from_allocation("int4", Precision::Int4, &alloc).unwrap();
-    let fp32_hw = HwConfig::from_allocation("fp32", Precision::Fp32, &alloc).unwrap();
-    let int4 = HybridAccelerator::new(&network, int4_hw)
+    let engine = Engine::builder()
+        .network(vgg9(&Vgg9Config::cifar10_small()).unwrap())
+        .hardware_allocation("int4", alloc)
+        .precision(Precision::Fp32)
+        .build()
+        .unwrap();
+    let out = engine.session().run(&sample.image).unwrap();
+
+    let int4_hw = snn::HwConfig::from_allocation("int4", Precision::Int4, alloc).unwrap();
+    let fp32_hw = snn::HwConfig::from_allocation("fp32", Precision::Fp32, alloc).unwrap();
+    let int4 = engine
+        .with_hardware(int4_hw)
         .unwrap()
+        .plan()
         .estimate(&out.traces)
         .unwrap();
-    let fp32 = HybridAccelerator::new(&network, fp32_hw)
+    let fp32 = engine
+        .with_hardware(fp32_hw)
         .unwrap()
+        .plan()
         .estimate(&out.traces)
         .unwrap();
     assert!(fp32.total_dynamic_watts > int4.total_dynamic_watts);

@@ -3,13 +3,13 @@
 //! the accelerator's area/power models must order precisions consistently.
 
 use proptest::prelude::*;
-use snn_dse::accel::config::HwConfig;
-use snn_dse::accel::resources::estimate_layers;
-use snn_dse::core::encoding::Encoder;
-use snn_dse::core::layers::Conv2d;
-use snn_dse::core::network::{vgg9, Vgg9Config};
-use snn_dse::core::quant::{fake_quantize, Precision, QuantizedTensor};
-use snn_dse::core::tensor::Tensor;
+use snn::accel::config::HwConfig;
+use snn::accel::resources::estimate_layers;
+use snn::core::encoding::Encoder;
+use snn::core::layers::Conv2d;
+use snn::core::network::{vgg9, Vgg9Config};
+use snn::core::quant::{fake_quantize, Precision, QuantizedTensor};
+use snn::core::tensor::Tensor;
 
 #[test]
 fn quantized_network_storage_shrinks_by_the_bit_ratio() {
@@ -17,7 +17,7 @@ fn quantized_network_storage_shrinks_by_the_bit_ratio() {
     let mut fp32_bits = 0u64;
     let mut int4_bits = 0u64;
     for layer in net.layers() {
-        if let snn_dse::core::network::Layer::Conv { conv, .. } = layer {
+        if let snn::core::network::Layer::Conv { conv, .. } = layer {
             fp32_bits += conv.storage_bits(Precision::Fp32);
             int4_bits += conv.storage_bits(Precision::Int4);
         }
@@ -43,7 +43,10 @@ fn quantized_inference_stays_close_to_fp32_on_first_layer_currents() {
         .scale;
     let bound = 27.0 * scale / 2.0 + 1e-4;
     for (x, y) in a.as_slice().iter().zip(b.as_slice().iter()) {
-        assert!((x - y).abs() <= bound, "divergence {x} vs {y} exceeds bound {bound}");
+        assert!(
+            (x - y).abs() <= bound,
+            "divergence {x} vs {y} exceeds bound {bound}"
+        );
     }
 }
 

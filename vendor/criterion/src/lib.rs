@@ -1,0 +1,205 @@
+//! Offline shim of `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple median-of-samples wall-clock harness instead
+//! of criterion's full statistical machinery.
+//!
+//! Each benchmark warms up briefly, then takes [`Criterion::SAMPLES`] timed
+//! samples of an adaptively chosen iteration batch and reports the median
+//! time per iteration (and derived throughput when one was declared).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque-value helper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until it takes >= 5 ms.
+        let mut batch = 1_u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut samples: Vec<f64> = (0..Criterion::SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() * 1e9 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Top-level bench driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Timed samples taken per benchmark.
+    pub const SAMPLES: usize = 11;
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher { median_ns: 0.0 };
+    f(&mut bencher);
+    let per_iter = bencher.median_ns;
+    let human = if per_iter >= 1e9 {
+        format!("{:.3} s", per_iter / 1e9)
+    } else if per_iter >= 1e6 {
+        format!("{:.3} ms", per_iter / 1e6)
+    } else if per_iter >= 1e3 {
+        format!("{:.3} us", per_iter / 1e3)
+    } else {
+        format!("{per_iter:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (per_iter / 1e9);
+            println!("{label:<48} {human:>12}/iter  {rate:>14.1} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (per_iter / 1e9);
+            println!("{label:<48} {human:>12}/iter  {rate:>14.1} B/s");
+        }
+        None => println!("{label:<48} {human:>12}/iter"),
+    }
+}
+
+/// Collects bench functions into a runnable group, mirroring criterion's API.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

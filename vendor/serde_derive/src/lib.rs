@@ -1,0 +1,378 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Generates [`Serialize`]/[`Deserialize`] impls for the vendored value-model
+//! `serde` crate. The parser handles exactly the shapes this workspace uses:
+//! non-generic structs (named, tuple and unit) and non-generic enums with
+//! unit, tuple and struct variants. It is written against `proc_macro`
+//! directly so it needs no external dependencies (`syn`/`quote` are
+//! unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (value-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` & friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits the tokens of a brace-delimited named-field list into field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances `i` past one type, stopping at a top-level `,` (or end of input).
+/// Angle brackets are plain puncts in token streams, so generic commas are
+/// skipped by tracking `<`/`>` depth.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0_i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` expression.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Obj(::std::vec::Vec::new())".to_string(),
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                        .collect();
+                    format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Obj(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Arr(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n            {}\n        }}\n    }}\n}}",
+                arms.join("\n            ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__field(obj, \"{f}\", \"{name}\")?,"))
+                        .collect();
+                    format!(
+                        "let obj = value.as_obj().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n        ::std::result::Result::Ok({name} {{\n            {}\n        }})",
+                        inits.join("\n            ")
+                    )
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|idx| format!("::serde::Deserialize::from_value(&arr[{idx}])?,"))
+                        .collect();
+                    format!(
+                        "let arr = value.as_arr().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\n        if arr.len() != {n} {{\n            return ::std::result::Result::Err(::serde::DeError::new(\"wrong tuple arity for {name}\"));\n        }}\n        ::std::result::Result::Ok({name}(\n            {}\n        ))",
+                        inits.join("\n            ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::__field(obj, \"{f}\", \"{name}::{vname}\")?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n                        let obj = inner.as_obj().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}::{vname}\"))?;\n                        ::std::result::Result::Ok({name}::{vname} {{\n                            {}\n                        }})\n                    }}",
+                                inits.join("\n                            ")
+                            ))
+                        }
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|idx| format!("::serde::Deserialize::from_value(&arr[{idx}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n                        let arr = inner.as_arr().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}::{vname}\"))?;\n                        if arr.len() != {n} {{\n                            return ::std::result::Result::Err(::serde::DeError::new(\"wrong arity for {name}::{vname}\"));\n                        }}\n                        ::std::result::Result::Ok({name}::{vname}(\n                            {}\n                        ))\n                    }}",
+                                inits.join("\n                            ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        match value {{\n            ::serde::Value::Str(s) => match s.as_str() {{\n                {unit}\n                other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n            }},\n            ::serde::Value::Obj(entries) if entries.len() == 1 => {{\n                let (tag, inner) = &entries[0];\n                let _ = inner;\n                match tag.as_str() {{\n                    {data}\n                    other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n                }}\n            }}\n            other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"expected variant of {name}, found {{}}\", other.kind()))),\n        }}\n    }}\n}}",
+                unit = unit_arms.join("\n                "),
+                data = data_arms.join("\n                    "),
+            )
+        }
+    }
+}
