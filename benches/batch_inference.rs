@@ -1,14 +1,26 @@
-//! Criterion bench of `Session::run_batch` throughput (images/sec) on
-//! `Vgg9Config::cifar10_small` at batch sizes 1, 8 and 32 — the baseline for
-//! future parallelism work.
+//! Criterion benches of the inference hot path.
+//!
+//! * `batch_inference` — `Session::run_batch` throughput (images/sec) on
+//!   `Vgg9Config::cifar10_small` at batch sizes 1, 8, 32 and 64, using the
+//!   engine's default worker-thread resolution (`SNN_THREADS` or the
+//!   available parallelism).
+//! * `sparse_conv` — event-driven `Conv2d::forward_spikes` vs the dense
+//!   im2col + matmul forward on a CONV2-like layer at 5%/20%/50% input spike
+//!   density, tracking the sparse/dense crossover that
+//!   `Conv2d::sparse_crossover` encodes.
 //!
 //! Run with: `cargo bench --bench batch_inference`
+//! Machine-readable output: `BENCH_JSON=BENCH_batch.json cargo bench ...`
+//! appends one JSON line per benchmark (see `BENCH_batch.json` for the
+//! checked-in baseline history).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use snn::{Engine, Precision};
 use snn_core::encoding::Encoder;
+use snn_core::layers::Conv2d;
 use snn_core::network::{vgg9, Vgg9Config};
-use snn_core::tensor::Tensor;
+use snn_core::spike::SpikePlane;
+use snn_core::tensor::{Im2Col, Tensor};
 
 fn bench_batches(c: &mut Criterion) {
     let cfg = Vgg9Config::cifar10_small();
@@ -22,7 +34,7 @@ fn bench_batches(c: &mut Criterion) {
     let mut session = engine.session();
 
     let mut group = c.benchmark_group("batch_inference");
-    for &batch in &[1_usize, 8, 32] {
+    for &batch in &[1_usize, 8, 32, 64] {
         let images: Vec<Tensor> = (0..batch)
             .map(|i| {
                 Tensor::from_fn(&[3, 16, 16], move |p| {
@@ -38,5 +50,48 @@ fn bench_batches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batches);
+/// Deterministic binary input at (approximately) the requested density.
+fn spike_input(shape: &[usize], density: f64) -> Tensor {
+    Tensor::from_fn(shape, |i| {
+        if ((i.wrapping_mul(2_654_435_761)) % 1000) as f64 / 1000.0 < density {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_sparse_conv(c: &mut Criterion) {
+    // CONV2-like geometry from the small model: 16 -> 16 channels on an
+    // 8x8 map, 3x3 same-padding.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let conv = Conv2d::with_kaiming_init(16, 16, 3, 1, 1, &mut rng).expect("conv builds");
+    let mut group = c.benchmark_group("sparse_conv");
+    for &density in &[0.05_f64, 0.2, 0.5] {
+        let input = spike_input(&[16, 8, 8], density);
+        let plane = SpikePlane::from_tensor(&input);
+        group.bench_with_input(
+            BenchmarkId::new("event", format!("{:.0}%", density * 100.0)),
+            &plane,
+            |b, plane| {
+                b.iter(|| conv.forward_spikes(plane).expect("sparse forward"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("{:.0}%", density * 100.0)),
+            &input,
+            |b, input| {
+                let mut scratch = Im2Col::default();
+                let mut out = Tensor::zeros(&[0]);
+                b.iter(|| {
+                    conv.forward_into(input, &mut scratch, &mut out)
+                        .expect("dense forward")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batches, bench_sparse_conv);
 criterion_main!(benches);

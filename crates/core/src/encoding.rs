@@ -13,6 +13,7 @@
 //! only needs the sparse cores.
 
 use crate::error::SnnError;
+use crate::spike::SpikePlane;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -107,35 +108,61 @@ impl Encoder {
     ///
     /// Returns [`SnnError::InvalidConfig`] if `timesteps == 0`.
     pub fn encode(&self, image: &Tensor, seed: u64) -> Result<Vec<Tensor>, SnnError> {
+        let mut planes = Vec::new();
+        self.encode_planes_into(image, seed, &mut planes)?;
+        Ok(planes.into_iter().map(|p| p.dense().clone()).collect())
+    }
+
+    /// Event-producing variant of [`Encoder::encode`]: fills `frames` with
+    /// per-timestep [`SpikePlane`]s (dense backing plus active-index list),
+    /// reusing the vector's existing plane allocations across calls. This is
+    /// what the inference run loop consumes; the dense backings are
+    /// bit-identical to [`Encoder::encode`]'s frames for the same seed.
+    ///
+    /// Rate-coded frames are binary spike planes; direct-coded frames carry
+    /// the analog image (`is_binary() == false` in general) and the active
+    /// list of its non-zero pixels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if `timesteps == 0`.
+    pub fn encode_planes_into(
+        &self,
+        image: &Tensor,
+        seed: u64,
+        frames: &mut Vec<SpikePlane>,
+    ) -> Result<(), SnnError> {
         if self.timesteps == 0 {
             return Err(SnnError::config(
                 "timesteps",
                 "must encode at least one timestep",
             ));
         }
+        frames.resize_with(self.timesteps, SpikePlane::new);
         match self.scheme {
-            CodingScheme::Direct => Ok(vec![image.clone(); self.timesteps]),
+            CodingScheme::Direct => {
+                // Every timestep presents the same analog frame: scan once,
+                // then copy the plane (allocation-reusing clone_from).
+                let (first, rest) = frames.split_first_mut().expect("timesteps >= 1");
+                first.assign(image);
+                for frame in rest {
+                    frame.clone_from(first);
+                }
+            }
             CodingScheme::Rate => {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let mut frames = Vec::with_capacity(self.timesteps);
-                for _ in 0..self.timesteps {
-                    let data: Vec<f32> = image
-                        .as_slice()
-                        .iter()
-                        .map(|&p| {
-                            let prob = p.abs().clamp(0.0, 1.0);
-                            if rng.gen::<f32>() < prob {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        })
-                        .collect();
-                    frames.push(Tensor::from_vec(data, image.shape())?);
+                for frame in frames.iter_mut() {
+                    frame.begin(image.shape());
+                    for (i, &p) in image.as_slice().iter().enumerate() {
+                        let prob = p.abs().clamp(0.0, 1.0);
+                        if rng.gen::<f32>() < prob {
+                            frame.push(i);
+                        }
+                    }
                 }
-                Ok(frames)
             }
         }
+        Ok(())
     }
 
     /// Number of non-zero input values the encoder will feed into the first
@@ -215,6 +242,33 @@ mod tests {
         let image = Tensor::ones(&[1, 2, 2]);
         assert!(Encoder::direct(0).encode(&image, 0).is_err());
         assert!(Encoder::rate(0).encode(&image, 0).is_err());
+        let mut planes = Vec::new();
+        assert!(Encoder::rate(0)
+            .encode_planes_into(&image, 0, &mut planes)
+            .is_err());
+    }
+
+    #[test]
+    fn encode_planes_matches_encode_for_both_schemes() {
+        let image = Tensor::from_fn(&[2, 4, 4], |i| ((i as f32) * 0.21).sin().abs() * 0.9);
+        for enc in [Encoder::direct(3), Encoder::rate(5)] {
+            let frames = enc.encode(&image, 42).unwrap();
+            let mut planes = Vec::new();
+            enc.encode_planes_into(&image, 42, &mut planes).unwrap();
+            assert_eq!(planes.len(), frames.len());
+            for (plane, frame) in planes.iter().zip(frames.iter()) {
+                assert_eq!(plane.dense(), frame);
+                assert_eq!(plane.count_active(), frame.count_nonzero());
+                if enc.produces_binary_input() {
+                    assert!(plane.is_binary());
+                }
+            }
+            // Reusing the buffer (with stale contents) reproduces the result.
+            enc.encode_planes_into(&image, 42, &mut planes).unwrap();
+            for (plane, frame) in planes.iter().zip(frames.iter()) {
+                assert_eq!(plane.dense(), frame);
+            }
+        }
     }
 
     #[test]

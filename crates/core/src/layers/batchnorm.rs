@@ -97,6 +97,18 @@ impl BatchNorm2d {
     ///
     /// Returns [`SnnError::ShapeMismatch`] if the channel count differs.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, SnnError> {
+        let mut out = input.clone();
+        self.forward_inplace(&mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`BatchNorm2d::forward`]: normalises the
+    /// tensor in place. Bit-identical to [`BatchNorm2d::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BatchNorm2d::forward`].
+    pub fn forward_inplace(&self, input: &mut Tensor) -> Result<(), SnnError> {
         if input.ndim() != 3 || input.shape()[0] != self.channels {
             return Err(SnnError::shape(
                 &[self.channels, 0, 0],
@@ -105,8 +117,7 @@ impl BatchNorm2d {
             ));
         }
         let plane = input.shape()[1] * input.shape()[2];
-        let mut out = input.clone();
-        let data = out.as_mut_slice();
+        let data = input.as_mut_slice();
         for c in 0..self.channels {
             let mean = self.running_mean.as_slice()[c];
             let var = self.running_var.as_slice()[c];
@@ -117,7 +128,7 @@ impl BatchNorm2d {
                 *v = (*v - mean) * inv_std * gamma + beta;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Normalises with *batch* statistics computed over the `[H, W]` plane of

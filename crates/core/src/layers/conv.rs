@@ -2,9 +2,39 @@
 
 use crate::error::SnnError;
 use crate::quant::{fake_quantize, Precision};
-use crate::tensor::{matmul, Im2Col, Tensor};
+use crate::spike::SpikePlane;
+use crate::tensor::{matmul_to, Im2Col, Tensor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Floor of the sparse/dense crossover density returned by
+/// [`Conv2d::sparse_crossover`]: below this input density the event-driven
+/// path wins for every layer geometry.
+pub const SPARSE_DENSITY_CROSSOVER: f64 = 0.2;
+
+/// Reusable scratch for [`Conv2d::forward_plane_into`]: the im2col buffer of
+/// the dense fallback plus the gather list of the event-driven path. One
+/// instance lives in the network's `RunState` and is shared by every conv
+/// layer of a run.
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    cols: Im2Col,
+    taps: Vec<(u32, u32)>,
+    wt: Vec<f32>,
+    acc: Vec<f32>,
+}
+
+impl ConvScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ConvScratch::default()
+    }
+
+    /// The im2col lowering buffer of the dense path.
+    pub fn im2col(&mut self) -> &mut Im2Col {
+        &mut self.cols
+    }
+}
 
 /// A 2-D convolution with square kernels, symmetric zero padding and a bias
 /// per output channel.
@@ -250,36 +280,226 @@ impl Conv2d {
         input: &Tensor,
         scratch: &mut Im2Col,
     ) -> Result<Tensor, SnnError> {
-        let out_shape = self.output_shape(input.shape())?;
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fully allocation-free dense forward: lowers into the caller's
+    /// [`Im2Col`] scratch and writes the output currents into `out`
+    /// (reshaped/reused in place). Bit-identical to [`Conv2d::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Conv2d::forward`].
+    pub fn forward_into(
+        &self,
+        input: &Tensor,
+        scratch: &mut Im2Col,
+        out: &mut Tensor,
+    ) -> Result<(), SnnError> {
         input.im2col_into(
             (self.kernel, self.kernel),
             self.stride,
             self.padding,
             scratch,
         )?;
-        let cols = &*scratch;
-        // weight as [out_channels, in_channels * k * k] times cols [rows, cols].
+        self.matmul_cols(scratch, input.shape(), out)
+    }
+
+    /// Shared dense tail: multiplies the flattened filter bank
+    /// `[out_channels, in_channels * k * k]` with an im2col matrix and adds
+    /// the bias, writing into `out`.
+    fn matmul_cols(
+        &self,
+        cols: &Im2Col,
+        input_shape: &[usize],
+        out: &mut Tensor,
+    ) -> Result<(), SnnError> {
+        let out_shape = self.output_shape(input_shape)?;
         let k = self.coefficients_per_output();
-        let out = matmul(
+        out.reset_to(&out_shape, 0.0);
+        matmul_to(
             self.weight.as_slice(),
             &cols.data,
             self.out_channels,
             k,
             cols.cols,
+            out.as_mut_slice(),
         );
-        let mut out_tensor = Tensor::from_vec(out, &out_shape)?;
-        // Add the per-channel bias.
-        let plane = out_shape[1] * out_shape[2];
-        let data = out_tensor.as_mut_slice();
+        self.add_bias(out_shape[1] * out_shape[2], out.as_mut_slice());
+        Ok(())
+    }
+
+    /// Event-driven forward over a binary spike frame: instead of lowering
+    /// the (mostly zero) input through im2col, gathers the filter taps of the
+    /// active inputs only. A spike at input `(c, y, x)` contributes the
+    /// weight column `w[:, c, ky, kx]` unscaled — binary activations need no
+    /// multiplies. Bit-identical to the dense path on the same input: per
+    /// output neuron, contributions accumulate in the same ascending
+    /// weight-row order the matmul uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if the plane is not binary, plus
+    /// the usual shape errors.
+    pub fn forward_spikes(&self, plane: &SpikePlane) -> Result<Tensor, SnnError> {
+        let mut scratch = ConvScratch::new();
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_spikes_with(plane, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Density-dispatching forward used by the inference loop: takes the
+    /// event path when the frame is binary and sparser than
+    /// [`SPARSE_DENSITY_CROSSOVER`], and the dense im2col path otherwise
+    /// (e.g. for analog direct-coded input frames). Both paths produce
+    /// bit-identical output currents.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Conv2d::forward`].
+    pub fn forward_plane_into(
+        &self,
+        plane: &SpikePlane,
+        scratch: &mut ConvScratch,
+        out: &mut Tensor,
+    ) -> Result<(), SnnError> {
+        if plane.is_binary() && plane.density() < self.sparse_crossover() {
+            self.forward_spikes_with(plane, scratch, out)
+        } else {
+            self.forward_into(plane.dense(), &mut scratch.cols, out)
+        }
+    }
+
+    /// Input density below which the event-driven path
+    /// ([`Conv2d::forward_spikes`]) beats the dense im2col + matmul lowering
+    /// for this layer's geometry.
+    ///
+    /// In vector-op terms the work ratio of the two paths is roughly the
+    /// input density, but the sparse path's fixed per-call costs (weight
+    /// transpose, accumulator transpose, tap building) weigh more at small
+    /// `out_channels`, where one tap's contiguous weight-row add spans less
+    /// than a vector register. Calibrated against the `sparse_conv`
+    /// micro-bench in `benches/batch_inference.rs`, which measured the
+    /// crossover at ≈0.30 for 8 output channels, ≈0.55 for 16 and >0.70 at
+    /// paper scale (112); clamped to `[SPARSE_DENSITY_CROSSOVER, 0.75]`.
+    pub fn sparse_crossover(&self) -> f64 {
+        (0.8 - 4.0 / self.out_channels as f64).clamp(SPARSE_DENSITY_CROSSOVER, 0.75)
+    }
+
+    /// The event-driven kernel behind [`Conv2d::forward_spikes`], with
+    /// caller-provided scratch and output buffer.
+    fn forward_spikes_with(
+        &self,
+        plane: &SpikePlane,
+        scratch: &mut ConvScratch,
+        out: &mut Tensor,
+    ) -> Result<(), SnnError> {
+        let out_shape = self.output_shape(plane.shape())?;
+        if !plane.is_binary() {
+            return Err(SnnError::config(
+                "input",
+                "Conv2d::forward_spikes requires a binary spike plane",
+            ));
+        }
+        let (h, w) = (plane.shape()[1], plane.shape()[2]);
+        let (oh, ow) = (out_shape[1], out_shape[2]);
+        let k = self.kernel;
+        let kk = k * k;
+        let ck2 = self.coefficients_per_output();
+        let cell_count = oh * ow;
+        // Pass 1: turn each input event into its (weight-row offset, output
+        // cell) taps. Scanning events in ascending index order and taps in
+        // ascending (ky, kx) order makes the per-output-cell contribution
+        // sequence ascend in weight-row offset — the dense matmul's exact
+        // accumulation order, which keeps the f32 sums bitwise equal.
+        let taps = &mut scratch.taps;
+        taps.clear();
+        for &flat in plane.active() {
+            let flat = flat as usize;
+            let ci = flat / (h * w);
+            let rem = flat % (h * w);
+            let iy = rem / w;
+            let ix = rem % w;
+            let wbase = ci * kk;
+            for ky in 0..k {
+                // Output row receiving this input through kernel row `ky`.
+                let y = iy as isize + self.padding as isize - ky as isize;
+                if y < 0 {
+                    break; // y only decreases as ky grows
+                }
+                let y = y as usize;
+                if !y.is_multiple_of(self.stride) || y / self.stride >= oh {
+                    continue;
+                }
+                let oy = y / self.stride;
+                for kx in 0..k {
+                    let x = ix as isize + self.padding as isize - kx as isize;
+                    if x < 0 {
+                        break;
+                    }
+                    let x = x as usize;
+                    if !x.is_multiple_of(self.stride) || x / self.stride >= ow {
+                        continue;
+                    }
+                    let ox = x / self.stride;
+                    taps.push(((wbase + ky * k + kx) as u32, (oy * ow + ox) as u32));
+                }
+            }
+        }
+        // Pass 2: accumulate in a transposed `[cell][out_channel]` layout so
+        // each tap is ONE contiguous vector add of a transposed weight row
+        // across all output channels, instead of `out_channels` scattered
+        // scalar read-modify-writes. (Both a per-channel scalar streaming
+        // loop and a counting-sort-by-cell variant were benchmarked and
+        // lost.) Per output neuron the contributions still arrive in
+        // ascending weight-row order — for every channel simultaneously — so
+        // the sums stay bitwise equal to the dense path.
+        let oc_n = self.out_channels;
+        let wt = &mut scratch.wt;
+        wt.clear();
+        wt.resize(ck2 * oc_n, 0.0);
+        let wdat = self.weight.as_slice();
+        for (oc, wrow) in wdat.chunks_exact(ck2).enumerate() {
+            for (p, &wv) in wrow.iter().enumerate() {
+                wt[p * oc_n + oc] = wv;
+            }
+        }
+        let acc = &mut scratch.acc;
+        acc.clear();
+        acc.resize(cell_count * oc_n, 0.0);
+        for &(p, cell) in taps.iter() {
+            let arow = &mut acc[cell as usize * oc_n..(cell as usize + 1) * oc_n];
+            let wrow = &wt[p as usize * oc_n..(p as usize + 1) * oc_n];
+            for (a, &wv) in arow.iter_mut().zip(wrow.iter()) {
+                *a += wv;
+            }
+        }
+        // Pass 3: transpose back to the `[out_channel][cell]` tensor layout.
+        out.reset_to(&out_shape, 0.0);
+        let odat = out.as_mut_slice();
+        for oc in 0..oc_n {
+            let orow = &mut odat[oc * cell_count..(oc + 1) * cell_count];
+            for (cell, o) in orow.iter_mut().enumerate() {
+                *o = acc[cell * oc_n + oc];
+            }
+        }
+        self.add_bias(cell_count, odat);
+        Ok(())
+    }
+
+    /// Adds the per-channel bias to an output buffer of `cell_count` cells
+    /// per channel — shared tail of the dense and event-driven paths.
+    fn add_bias(&self, cell_count: usize, data: &mut [f32]) {
         for oc in 0..self.out_channels {
             let b = self.bias.as_slice()[oc];
             if b != 0.0 {
-                for v in &mut data[oc * plane..(oc + 1) * plane] {
+                for v in &mut data[oc * cell_count..(oc + 1) * cell_count] {
                     *v += b;
                 }
             }
         }
-        Ok(out_tensor)
     }
 
     /// Returns a copy of the layer with fake-quantized weights and biases, as
@@ -305,6 +525,7 @@ impl Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -404,6 +625,68 @@ mod tests {
         assert_ne!(q.weight(), conv.weight());
         let same = conv.to_precision(Precision::Fp32).unwrap();
         assert_eq!(same.weight(), conv.weight());
+    }
+
+    #[test]
+    fn forward_spikes_rejects_analog_planes() {
+        let conv = Conv2d::new(1, 2, 3, 1, 1).unwrap();
+        let analog = Tensor::from_vec(vec![0.5; 16], &[1, 4, 4]).unwrap();
+        let plane = SpikePlane::from_tensor(&analog);
+        assert!(conv.forward_spikes(&plane).is_err());
+    }
+
+    #[test]
+    fn forward_plane_into_dispatches_both_paths_identically() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let conv = Conv2d::with_kaiming_init(2, 4, 3, 1, 1, &mut rng).unwrap();
+        // Sparse binary frame (below crossover) and a dense one (above).
+        for fill in [0.05_f64, 0.9] {
+            let input = Tensor::from_fn(&[2, 6, 6], |i| {
+                if ((i * 2654435761) % 1000) as f64 / 1000.0 < fill {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+            let plane = SpikePlane::from_tensor(&input);
+            let mut scratch = ConvScratch::new();
+            let mut out = Tensor::zeros(&[0]);
+            conv.forward_plane_into(&plane, &mut scratch, &mut out)
+                .unwrap();
+            let reference = conv.forward(&input).unwrap();
+            assert_eq!(out.as_slice(), reference.as_slice());
+        }
+    }
+
+    proptest! {
+        /// The event-driven conv forward is bitwise-equal to the dense
+        /// im2col + matmul forward on arbitrary binary inputs, at every
+        /// weight precision, including strided/unpadded geometries.
+        #[test]
+        fn forward_spikes_bitwise_equals_dense(
+            seed in 0_u64..1000,
+            bits in proptest::collection::vec(any::<bool>(), 2 * 7 * 7),
+            stride in 1_usize..3,
+            padding in 0_usize..2,
+            precision_idx in 0_usize..3,
+        ) {
+            let precision = [Precision::Fp32, Precision::Int8, Precision::Int4][precision_idx];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let conv = Conv2d::with_kaiming_init(2, 3, 3, stride, padding, &mut rng)
+                .unwrap()
+                .to_precision(precision)
+                .unwrap();
+            let input = Tensor::from_fn(&[2, 7, 7], |i| if bits[i] { 1.0 } else { 0.0 });
+            let plane = SpikePlane::from_tensor(&input);
+            let dense = conv.forward(&input).unwrap();
+            let sparse = conv.forward_spikes(&plane).unwrap();
+            prop_assert_eq!(sparse.shape(), dense.shape());
+            // Bitwise equality, not approximate: both paths must accumulate
+            // in the same order.
+            for (s, d) in sparse.as_slice().iter().zip(dense.as_slice().iter()) {
+                prop_assert_eq!(s.to_bits(), d.to_bits());
+            }
+        }
     }
 
     #[test]

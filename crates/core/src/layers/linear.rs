@@ -2,6 +2,7 @@
 
 use crate::error::SnnError;
 use crate::quant::{fake_quantize, Precision};
+use crate::spike::SpikePlane;
 use crate::tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -148,6 +149,18 @@ impl Linear {
     /// Returns [`SnnError::ShapeMismatch`] if the element count differs from
     /// `in_features`.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, SnnError> {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`Linear::forward`]: writes into `out`
+    /// (reshaped/reused in place). Bit-identical to [`Linear::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Linear::forward`].
+    pub fn forward_into(&self, input: &Tensor, out: &mut Tensor) -> Result<(), SnnError> {
         if input.len() != self.in_features {
             return Err(SnnError::shape(
                 &[self.in_features],
@@ -158,8 +171,8 @@ impl Linear {
         let x = input.as_slice();
         let w = self.weight.as_slice();
         let b = self.bias.as_slice();
-        let mut out = vec![0.0_f32; self.out_features];
-        for (o, out_val) in out.iter_mut().enumerate() {
+        out.reset_to(&[self.out_features], 0.0);
+        for (o, out_val) in out.as_mut_slice().iter_mut().enumerate() {
             let row = &w[o * self.in_features..(o + 1) * self.in_features];
             let mut acc = b[o];
             for (wi, xi) in row.iter().zip(x.iter()) {
@@ -169,7 +182,77 @@ impl Linear {
             }
             *out_val = acc;
         }
-        Tensor::from_vec(out, &[self.out_features])
+        Ok(())
+    }
+
+    /// Event-driven forward over a binary spike frame: gathers the weight
+    /// columns of the active inputs only — each spike contributes `w[:, i]`
+    /// unscaled, no multiplies. The dense path already skips zero inputs
+    /// element-by-element in ascending order, so gathering the same indices
+    /// in the same order is bitwise-identical while touching `out × active`
+    /// weights instead of scanning all `out × in` of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if the plane is not binary, plus
+    /// the usual shape errors.
+    pub fn forward_spikes(&self, plane: &SpikePlane) -> Result<Tensor, SnnError> {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_spikes_into(plane, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`Linear::forward_spikes`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Linear::forward_spikes`].
+    pub fn forward_spikes_into(
+        &self,
+        plane: &SpikePlane,
+        out: &mut Tensor,
+    ) -> Result<(), SnnError> {
+        if plane.len() != self.in_features {
+            return Err(SnnError::shape(
+                &[self.in_features],
+                &[plane.len()],
+                "Linear::forward_spikes",
+            ));
+        }
+        if !plane.is_binary() {
+            return Err(SnnError::config(
+                "input",
+                "Linear::forward_spikes requires a binary spike plane",
+            ));
+        }
+        let w = self.weight.as_slice();
+        let b = self.bias.as_slice();
+        let active = plane.active();
+        out.reset_to(&[self.out_features], 0.0);
+        for (o, out_val) in out.as_mut_slice().iter_mut().enumerate() {
+            let row = &w[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = b[o];
+            for &i in active {
+                acc += row[i as usize];
+            }
+            *out_val = acc;
+        }
+        Ok(())
+    }
+
+    /// Dispatching forward used by the inference loop: the event path for
+    /// binary frames (a strict subset of the dense work at any density), the
+    /// dense path otherwise. Both produce bit-identical output currents.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Linear::forward`].
+    pub fn forward_plane_into(&self, plane: &SpikePlane, out: &mut Tensor) -> Result<(), SnnError> {
+        if plane.is_binary() {
+            self.forward_spikes_into(plane, out)
+        } else {
+            self.forward_into(plane.dense(), out)
+        }
     }
 
     /// Returns a copy of the layer with fake-quantized weights and biases.
@@ -193,6 +276,7 @@ impl Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -252,6 +336,45 @@ mod tests {
         let bound = (6.0_f32 / 100.0).sqrt();
         assert!(fc.weight().as_slice().iter().all(|&w| w.abs() <= bound));
         assert_eq!(fc.num_params(), 1010);
+    }
+
+    #[test]
+    fn forward_spikes_rejects_analog_planes() {
+        let fc = Linear::new(4, 2).unwrap();
+        let analog = Tensor::from_vec(vec![0.0, 0.5, 0.0, 1.0], &[4]).unwrap();
+        assert!(fc
+            .forward_spikes(&SpikePlane::from_tensor(&analog))
+            .is_err());
+        // The dispatching entry point falls back to the dense path instead.
+        let mut out = Tensor::zeros(&[0]);
+        fc.forward_plane_into(&SpikePlane::from_tensor(&analog), &mut out)
+            .unwrap();
+        assert_eq!(out.as_slice(), fc.forward(&analog).unwrap().as_slice());
+    }
+
+    proptest! {
+        /// The event-driven linear forward is bitwise-equal to the dense
+        /// forward on arbitrary binary inputs, at every weight precision.
+        #[test]
+        fn forward_spikes_bitwise_equals_dense(
+            seed in 0_u64..1000,
+            bits in proptest::collection::vec(any::<bool>(), 24),
+            precision_idx in 0_usize..3,
+        ) {
+            let precision = [Precision::Fp32, Precision::Int8, Precision::Int4][precision_idx];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fc = Linear::with_kaiming_init(24, 7, &mut rng)
+                .unwrap()
+                .to_precision(precision)
+                .unwrap();
+            let input = Tensor::from_fn(&[24], |i| if bits[i] { 1.0 } else { 0.0 });
+            let plane = SpikePlane::from_tensor(&input);
+            let dense = fc.forward(&input).unwrap();
+            let sparse = fc.forward_spikes(&plane).unwrap();
+            for (s, d) in sparse.as_slice().iter().zip(dense.as_slice().iter()) {
+                prop_assert_eq!(s.to_bits(), d.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,6 @@ mod linear;
 mod pool;
 
 pub use batchnorm::BatchNorm2d;
-pub use conv::Conv2d;
+pub use conv::{Conv2d, ConvScratch, SPARSE_DENSITY_CROSSOVER};
 pub use linear::Linear;
 pub use pool::SpikeMaxPool2d;

@@ -8,7 +8,7 @@
 //! [`crate::spike::SpikeTrain`]s.
 
 use crate::error::SnnError;
-use crate::spike::SpikeTrain;
+use crate::spike::{SpikePlane, SpikeTrain};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -117,6 +117,45 @@ impl SpikeMaxPool2d {
         Ok(out)
     }
 
+    /// Event-driven OR-pooling between [`SpikePlane`]s: each input spike
+    /// marks its output window cell directly (`active × O(1)` work instead of
+    /// scanning every window), then the output's active list is rebuilt with
+    /// one scan of the (4×-smaller) output map. Falls back to the dense
+    /// window scan for analog planes, where "non-zero" and "spike" differ.
+    /// Output values are bit-identical to [`SpikeMaxPool2d::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpikeMaxPool2d::forward`].
+    pub fn forward_plane(&self, input: &SpikePlane, out: &mut SpikePlane) -> Result<(), SnnError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = (out_shape[1], out_shape[2]);
+        out.begin(&out_shape);
+        if input.is_binary() {
+            for &flat in input.active() {
+                let flat = flat as usize;
+                let c = flat / (h * w);
+                let rem = flat % (h * w);
+                let (oy, ox) = (rem / w / self.size, rem % w / self.size);
+                // Floor division drops partial windows at the bottom/right
+                // edge, exactly like the dense scan.
+                if oy < oh && ox < ow {
+                    out.mark(c * oh * ow + oy * ow + ox);
+                }
+            }
+        } else {
+            let pooled = self.forward(input.dense())?;
+            for (i, &v) in pooled.as_slice().iter().enumerate() {
+                if v > 0.0 {
+                    out.mark(i);
+                }
+            }
+        }
+        out.rebuild_active();
+        Ok(())
+    }
+
     /// Applies OR-pooling to one bit-packed spike train describing an
     /// `height × width` feature map, returning the pooled train.
     ///
@@ -196,6 +235,36 @@ mod tests {
         let input = Tensor::full(&[1, 2, 2], 0.3);
         let out = pool.forward(&input).unwrap();
         assert_eq!(out.as_slice(), &[1.0]);
+    }
+
+    proptest! {
+        /// Event-driven plane pooling is bitwise-equal to the dense window
+        /// scan, including odd feature maps with dropped partial windows.
+        #[test]
+        fn plane_pooling_bitwise_equals_dense(
+            bits in proptest::collection::vec(any::<bool>(), 2 * 5 * 5),
+            size in 2_usize..4,
+        ) {
+            let pool = SpikeMaxPool2d::new(size).unwrap();
+            let input = Tensor::from_fn(&[2, 5, 5], |i| if bits[i] { 1.0 } else { 0.0 });
+            let dense = pool.forward(&input).unwrap();
+            let mut out = SpikePlane::new();
+            pool.forward_plane(&SpikePlane::from_tensor(&input), &mut out).unwrap();
+            prop_assert_eq!(out.dense().as_slice(), dense.as_slice());
+            prop_assert_eq!(out.count_active(), dense.count_nonzero());
+            prop_assert!(out.is_binary());
+        }
+    }
+
+    #[test]
+    fn plane_pooling_analog_fallback_matches_dense() {
+        let pool = SpikeMaxPool2d::new(2).unwrap();
+        let input = Tensor::from_fn(&[1, 4, 4], |i| (i as f32 - 8.0) * 0.1);
+        let dense = pool.forward(&input).unwrap();
+        let mut out = SpikePlane::new();
+        pool.forward_plane(&SpikePlane::from_tensor(&input), &mut out)
+            .unwrap();
+        assert_eq!(out.dense().as_slice(), dense.as_slice());
     }
 
     #[test]

@@ -24,13 +24,13 @@
 //! runs. The `snn` facade crate's `Engine`/`Session` API builds directly on
 //! this split.
 
-use crate::encoding::Encoder;
+use crate::encoding::{CodingScheme, Encoder};
 use crate::error::SnnError;
-use crate::layers::{BatchNorm2d, Conv2d, Linear, SpikeMaxPool2d};
+use crate::layers::{BatchNorm2d, Conv2d, ConvScratch, Linear, SpikeMaxPool2d};
 use crate::neuron::{LifParams, LifPopulation};
 use crate::quant::Precision;
-use crate::spike::{SpikeRecord, SpikeVolume};
-use crate::tensor::{Im2Col, Tensor};
+use crate::spike::{SpikePlane, SpikeRecord, SpikeVolume};
+use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -184,18 +184,34 @@ pub struct RunOutput {
 /// (immutable, shareable) [`SnnNetwork`] weights.
 ///
 /// Holds the per-layer LIF populations (membrane potentials and firing
-/// history) and the im2col scratch buffer the convolution layers lower into.
-/// A `RunState` is created once per session/thread via [`RunState::new`] and
-/// reused across runs by [`SnnNetwork::run_with_state`], which resets it
-/// between images instead of reallocating — the enabler for batched and,
-/// later, parallel inference over one shared network.
+/// history) and every scratch buffer of the event-driven inference loop: the
+/// encoder's frame planes, the ping-pong [`SpikePlane`] pair activations flow
+/// through, the membrane-current tensor, and the conv layers' shared
+/// im2col/gather scratch. A `RunState` is created once per session/thread
+/// via [`RunState::new`] and reused across runs by
+/// [`SnnNetwork::run_with_state`], which resets it between images instead of
+/// reallocating — after the first image of a batch the steady-state loop
+/// performs no heap allocation. This is the enabler for batched and parallel
+/// inference over one shared network.
 #[derive(Debug, Clone)]
 pub struct RunState {
     /// Per-layer LIF state, index-aligned with the network's layers
     /// (`None` for pooling layers).
     lif: Vec<Option<LifPopulation>>,
-    /// Shared im2col lowering buffer, reused by every conv layer.
-    conv_scratch: Im2Col,
+    /// Shared im2col + event-gather scratch, reused by every conv layer.
+    conv_scratch: ConvScratch,
+    /// Membrane-current buffer every conv/linear layer writes into.
+    current: Tensor,
+    /// Cache of the first layer's membrane currents under direct coding,
+    /// where every timestep presents the identical analog frame: the (dense,
+    /// most expensive) input-layer forward is computed once per image and
+    /// replayed at the remaining timesteps.
+    first_current: Tensor,
+    /// Ping-pong spike planes activations flow through, one layer at a time.
+    plane_a: SpikePlane,
+    plane_b: SpikePlane,
+    /// Encoded input frames of the image being processed.
+    frames: Vec<SpikePlane>,
 }
 
 impl RunState {
@@ -227,7 +243,12 @@ impl RunState {
             .collect();
         Ok(RunState {
             lif,
-            conv_scratch: Im2Col::default(),
+            conv_scratch: ConvScratch::new(),
+            current: Tensor::zeros(&[0]),
+            first_current: Tensor::zeros(&[0]),
+            plane_a: SpikePlane::new(),
+            plane_b: SpikePlane::new(),
+            frames: Vec::new(),
         })
     }
 
@@ -479,57 +500,126 @@ impl SnnNetwork {
             ));
         }
         state.reset();
-        let frames = encoder.encode(image, seed)?;
-        let timesteps = frames.len();
+        encoder.encode_planes_into(image, seed, &mut state.frames)?;
+        let timesteps = state.frames.len();
         let geometry = self.geometry()?;
 
-        // Per-layer accumulators.
+        // Per-layer accumulators. Conv spike volumes are preallocated and
+        // filled bit-by-bit from the event lists as the run progresses (the
+        // old loop cloned every spike tensor and converted them afterwards).
         let mut input_events: Vec<Vec<u64>> = vec![vec![0; timesteps]; self.layers.len()];
         let mut output_spikes: Vec<Vec<u64>> = vec![vec![0; timesteps]; self.layers.len()];
         let mut output_neurons: Vec<u64> = vec![0; self.layers.len()];
-        let mut spike_frames: Vec<Vec<Tensor>> = vec![Vec::new(); self.layers.len()];
         let mut class_scores = vec![0.0_f32; self.num_classes];
         let group = self.population / self.num_classes;
+        let mut volumes: Vec<Option<SpikeVolume>> = {
+            let mut geo_iter = geometry.iter();
+            self.layers
+                .iter()
+                .map(|layer| {
+                    let geo = if layer.is_weight_layer() {
+                        geo_iter.next()
+                    } else {
+                        None
+                    };
+                    match (layer, geo) {
+                        (Layer::Conv { .. }, Some(g)) => Some(SpikeVolume::new(
+                            timesteps,
+                            g.out_channels,
+                            g.out_height,
+                            g.out_width,
+                        )),
+                        _ => None,
+                    }
+                })
+                .collect()
+        };
 
+        // The event-driven loop: activations flow through the two ping-pong
+        // spike planes (`src` holds the current layer's input, `dst` receives
+        // its output), with the encoder's frame as the first layer's input at
+        // each timestep. Conv/linear layers dispatch between the gather-based
+        // event path and the dense im2col fallback; all scratch lives in the
+        // RunState, so the steady-state loop allocates nothing.
+        let RunState {
+            lif,
+            conv_scratch,
+            current,
+            first_current,
+            plane_a,
+            plane_b,
+            frames,
+        } = state;
+        // Direct coding presents the identical analog frame at every
+        // timestep, so the first layer's (stateless) conv + BN output is the
+        // same each step: compute it at t = 0 and replay it afterwards. Only
+        // the LIF populations carry state across timesteps.
+        let replay_first = encoder.scheme == CodingScheme::Direct && timesteps > 1;
+        let mut src: &mut SpikePlane = plane_a;
+        let mut dst: &mut SpikePlane = plane_b;
         for (t, frame) in frames.iter().enumerate() {
-            let mut x = frame.clone();
             for (li, layer) in self.layers.iter().enumerate() {
-                input_events[li][t] = x.count_nonzero() as u64;
+                let input: &SpikePlane = if li == 0 { frame } else { src };
+                input_events[li][t] = input.count_active() as u64;
                 match layer {
                     Layer::Conv { conv, bn, .. } => {
-                        let mut current = conv.forward_with_scratch(&x, &mut state.conv_scratch)?;
-                        if let Some(b) = bn {
-                            current = b.forward(&current)?;
-                        }
-                        let lif_state = state.lif[li].as_mut().ok_or_else(|| {
+                        let cur: &Tensor = if li == 0 && replay_first {
+                            if t == 0 {
+                                conv.forward_plane_into(input, conv_scratch, first_current)?;
+                                if let Some(b) = bn {
+                                    b.forward_inplace(first_current)?;
+                                }
+                            }
+                            first_current
+                        } else {
+                            conv.forward_plane_into(input, conv_scratch, current)?;
+                            if let Some(b) = bn {
+                                b.forward_inplace(current)?;
+                            }
+                            current
+                        };
+                        let lif_state = lif[li].as_mut().ok_or_else(|| {
                             SnnError::config("state", "RunState missing LIF state for conv layer")
                         })?;
-                        let spikes = lif_state.step_tensor(&current)?;
-                        output_spikes[li][t] = spikes.count_nonzero() as u64;
-                        output_neurons[li] = spikes.len() as u64;
-                        spike_frames[li].push(spikes.clone());
-                        x = spikes;
+                        let spikes = lif_state.step_plane(cur, dst)?;
+                        output_spikes[li][t] = spikes as u64;
+                        output_neurons[li] = dst.len() as u64;
+                        if let Some(vol) = &mut volumes[li] {
+                            let per_map = vol.neurons_per_map();
+                            for &flat in dst.active() {
+                                let flat = flat as usize;
+                                vol.train_mut(t, flat / per_map).set(flat % per_map, true);
+                            }
+                        }
                     }
                     Layer::Pool { pool, .. } => {
-                        let pooled = pool.forward(&x)?;
-                        output_spikes[li][t] = pooled.count_nonzero() as u64;
-                        output_neurons[li] = pooled.len() as u64;
-                        x = pooled;
+                        pool.forward_plane(input, dst)?;
+                        output_spikes[li][t] = dst.count_active() as u64;
+                        output_neurons[li] = dst.len() as u64;
                     }
                     Layer::Linear { linear, .. } => {
-                        let current = linear.forward(&x)?;
-                        let lif_state = state.lif[li].as_mut().ok_or_else(|| {
+                        let cur: &Tensor = if li == 0 && replay_first {
+                            if t == 0 {
+                                linear.forward_plane_into(input, first_current)?;
+                            }
+                            first_current
+                        } else {
+                            linear.forward_plane_into(input, current)?;
+                            current
+                        };
+                        let lif_state = lif[li].as_mut().ok_or_else(|| {
                             SnnError::config("state", "RunState missing LIF state for linear layer")
                         })?;
-                        let spikes = lif_state.step_tensor(&current)?;
-                        output_spikes[li][t] = spikes.count_nonzero() as u64;
-                        output_neurons[li] = spikes.len() as u64;
-                        x = spikes;
+                        let spikes = lif_state.step_plane(cur, dst)?;
+                        output_spikes[li][t] = spikes as u64;
+                        output_neurons[li] = dst.len() as u64;
                     }
                 }
+                std::mem::swap(&mut src, &mut dst);
             }
             // Population readout: accumulate output-layer spikes per class.
-            let out = x.as_slice();
+            // After the final swap, `src` holds the output layer's spikes.
+            let out = src.dense().as_slice();
             for (class, score) in class_scores.iter_mut().enumerate() {
                 let start = class * group;
                 let end = start + group;
@@ -541,7 +631,7 @@ impl SnnNetwork {
         let mut record = SpikeRecord::new(timesteps);
         let mut traces = Vec::with_capacity(self.layers.len());
         let mut geo_iter = geometry.into_iter();
-        for (li, layer) in self.layers.iter().enumerate() {
+        for ((li, layer), volume) in self.layers.iter().enumerate().zip(volumes) {
             let geo = if layer.is_weight_layer() {
                 geo_iter.next()
             } else {
@@ -553,22 +643,13 @@ impl SnnNetwork {
                 output_spikes[li].iter().sum(),
                 output_neurons[li],
             );
-            let spikes = match (layer, geo.as_ref()) {
-                (Layer::Conv { .. }, Some(g)) => Some(SpikeVolume::from_activations(
-                    &spike_frames[li],
-                    g.out_channels,
-                    g.out_height,
-                    g.out_width,
-                )?),
-                _ => None,
-            };
             traces.push(LayerTrace {
                 name: layer.name().to_string(),
                 geometry: geo,
                 input_events: input_events[li].clone(),
                 output_spikes: output_spikes[li].clone(),
                 output_neurons: output_neurons[li],
-                spikes,
+                spikes: volume,
             });
         }
 

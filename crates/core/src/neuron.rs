@@ -15,6 +15,7 @@
 //! bit-true with the functional model.
 
 use crate::error::SnnError;
+use crate::spike::SpikePlane;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -178,6 +179,43 @@ impl LifPopulation {
     /// population size, or [`SnnError::NumericalError`] if an input is
     /// non-finite.
     pub fn step(&mut self, input: &[f32]) -> Result<Vec<bool>, SnnError> {
+        self.validate_input(input)?;
+        let mut spikes = vec![false; self.membrane.len()];
+        self.step_core(input, |i, fired| spikes[i] = fired);
+        Ok(spikes)
+    }
+
+    /// The single membrane-update loop behind every `step*` variant: applies
+    /// Eq. 1 / Eq. 2 to each neuron in index order, reporting each firing
+    /// decision through `emit`, and returns the spike count. Keeping one
+    /// implementation guarantees the event-driven and dense paths stay
+    /// bit-identical. Callers must run [`LifPopulation::validate_input`]
+    /// first.
+    fn step_core(&mut self, input: &[f32], mut emit: impl FnMut(usize, bool)) -> usize {
+        let LifParams { beta, threshold } = self.params;
+        let mut count = 0usize;
+        for (i, (&x, u)) in input.iter().zip(self.membrane.iter_mut()).enumerate() {
+            let reset = if self.fired_last[i] { threshold } else { 0.0 };
+            let next = beta * *u + x - reset;
+            let fired = next > threshold;
+            *u = next;
+            // Each neuron's reset only reads its own history, so the
+            // history can be updated in the same pass.
+            self.fired_last[i] = fired;
+            count += usize::from(fired);
+            emit(i, fired);
+        }
+        self.spikes_emitted += count as u64;
+        self.steps += 1;
+        count
+    }
+
+    /// Rejects wrongly-sized and non-finite inputs up front, leaving every
+    /// piece of state (membranes, history, caller output buffers) untouched
+    /// on failure — and keeping the update loop free of early exits so it
+    /// vectorises. Every public `step*` entry point calls this before
+    /// touching its output buffer.
+    fn validate_input(&self, input: &[f32]) -> Result<(), SnnError> {
         if input.len() != self.membrane.len() {
             return Err(SnnError::shape(
                 &[self.membrane.len()],
@@ -185,26 +223,12 @@ impl LifPopulation {
                 "LifPopulation::step input",
             ));
         }
-        let LifParams { beta, threshold } = self.params;
-        let mut spikes = vec![false; self.membrane.len()];
-        for (i, (&x, u)) in input.iter().zip(self.membrane.iter_mut()).enumerate() {
-            if !x.is_finite() {
-                return Err(SnnError::numerical(format!(
-                    "non-finite input current {x} at neuron {i}"
-                )));
-            }
-            let reset = if self.fired_last[i] { threshold } else { 0.0 };
-            let next = beta * *u + x - reset;
-            let fired = next > threshold;
-            *u = next;
-            spikes[i] = fired;
+        if let Some((i, x)) = input.iter().enumerate().find(|(_, x)| !x.is_finite()) {
+            return Err(SnnError::numerical(format!(
+                "non-finite input current {x} at neuron {i}"
+            )));
         }
-        for (f, &s) in self.fired_last.iter_mut().zip(spikes.iter()) {
-            *f = s;
-        }
-        self.spikes_emitted += spikes.iter().filter(|&&s| s).count() as u64;
-        self.steps += 1;
-        Ok(spikes)
+        Ok(())
     }
 
     /// Like [`LifPopulation::step`] but takes and returns [`Tensor`]s of any
@@ -215,11 +239,44 @@ impl LifPopulation {
     ///
     /// Propagates the same errors as [`LifPopulation::step`].
     pub fn step_tensor(&mut self, input: &Tensor) -> Result<Tensor, SnnError> {
-        let spikes = self.step(input.as_slice())?;
-        Tensor::from_vec(
-            spikes.iter().map(|&s| if s { 1.0 } else { 0.0 }).collect(),
-            input.shape(),
-        )
+        let mut out = Tensor::zeros(&[0]);
+        self.step_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`LifPopulation::step_tensor`]: writes the
+    /// 0.0/1.0 spike frame directly into `out` (reshaped/reused in place) and
+    /// returns the number of spikes emitted this step, so callers need no
+    /// separate `count_nonzero` rescan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`LifPopulation::step`].
+    pub fn step_into(&mut self, input: &Tensor, out: &mut Tensor) -> Result<usize, SnnError> {
+        self.validate_input(input.as_slice())?;
+        out.reset_to(input.shape(), 0.0);
+        let data = out.as_mut_slice();
+        Ok(self.step_core(input.as_slice(), |i, fired| {
+            data[i] = f32::from(fired);
+        }))
+    }
+
+    /// Event-emitting variant of [`LifPopulation::step_into`]: writes the
+    /// spike frame into `out`'s dense backing *and* its ascending
+    /// active-index list in the same pass, producing the [`SpikePlane`] the
+    /// event-driven layer forwards consume. Returns the spike count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`LifPopulation::step`].
+    pub fn step_plane(&mut self, input: &Tensor, out: &mut SpikePlane) -> Result<usize, SnnError> {
+        self.validate_input(input.as_slice())?;
+        out.begin(input.shape());
+        Ok(self.step_core(input.as_slice(), |i, fired| {
+            if fired {
+                out.push(i);
+            }
+        }))
     }
 }
 
@@ -326,6 +383,65 @@ mod tests {
         let out = pop.step_tensor(&input).unwrap();
         assert_eq!(out.shape(), &[2, 2]);
         assert_eq!(out.as_slice(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn step_into_matches_step_tensor_and_counts_spikes() {
+        let params = LifParams::new(0.4, 0.5).unwrap();
+        let mut a = LifPopulation::new(6, params);
+        let mut b = LifPopulation::new(6, params);
+        let mut out = Tensor::zeros(&[0]);
+        for t in 0..12 {
+            let input = Tensor::from_fn(&[2, 3], |i| ((i + t) as f32 * 0.37).sin().abs());
+            let reference = a.step_tensor(&input).unwrap();
+            let count = b.step_into(&input, &mut out).unwrap();
+            assert_eq!(out.as_slice(), reference.as_slice(), "step {t}");
+            assert_eq!(out.shape(), reference.shape());
+            assert_eq!(count, reference.count_nonzero());
+            assert_eq!(a.membrane(), b.membrane());
+        }
+        assert_eq!(a.spikes_emitted(), b.spikes_emitted());
+        assert_eq!(a.steps(), b.steps());
+    }
+
+    #[test]
+    fn step_into_leaves_output_untouched_on_invalid_input() {
+        let mut pop = LifPopulation::new(3, LifParams::paper_default());
+        let mut out = Tensor::from_vec(vec![1.0, 0.0, 1.0], &[3]).unwrap();
+        let before = out.clone();
+        assert!(pop.step_into(&Tensor::zeros(&[2]), &mut out).is_err());
+        assert!(pop
+            .step_into(
+                &Tensor::from_vec(vec![0.0, f32::NAN, 0.0], &[3]).unwrap(),
+                &mut out
+            )
+            .is_err());
+        assert_eq!(out, before, "error paths must not clobber the out buffer");
+        assert!(pop.membrane().iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    fn step_plane_emits_active_indices_in_order() {
+        let params = LifParams::new(0.2, 0.5).unwrap();
+        let mut a = LifPopulation::new(8, params);
+        let mut b = LifPopulation::new(8, params);
+        let mut plane = SpikePlane::new();
+        for t in 0..10 {
+            let input = Tensor::from_fn(&[8], |i| ((i * 3 + t) as f32 * 0.29).cos().abs());
+            let reference = a.step_tensor(&input).unwrap();
+            let count = b.step_plane(&input, &mut plane).unwrap();
+            assert_eq!(plane.dense().as_slice(), reference.as_slice());
+            assert_eq!(count, plane.count_active());
+            assert!(plane.is_binary());
+            let expected: Vec<u32> = reference
+                .as_slice()
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v > 0.0)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(plane.active(), expected.as_slice());
+        }
     }
 
     #[test]

@@ -15,7 +15,195 @@
 //!   which feed the workload model (Eq. 3) and the sparsity experiments.
 
 use crate::error::SnnError;
+use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
+
+/// One sparse activation frame: the event-driven representation of a layer
+/// input at a single timestep.
+///
+/// A `SpikePlane` pairs a dense tensor backing with the ascending list of
+/// flat indices of its non-zero elements — exactly the event list the
+/// paper's sparse cores consume. Producers (the encoders, the LIF
+/// populations, spike pooling) maintain the index list as they emit spikes,
+/// so consumers never rescan the dense tensor:
+///
+/// * the event-driven [`crate::layers::Conv2d::forward_spikes`] /
+///   [`crate::layers::Linear::forward_spikes`] gather weight columns for the
+///   active indices only, and
+/// * the run loop reads `count_active()` instead of a full
+///   `count_nonzero` pass per layer per timestep.
+///
+/// `binary` records whether every element is exactly 0.0 or 1.0. Direct-coded
+/// input frames are analog (`binary == false`) and must take the dense path;
+/// every LIF output is binary by construction.
+///
+/// # Example
+///
+/// ```
+/// use snn_core::spike::SpikePlane;
+/// use snn_core::tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0], &[2, 2]).unwrap();
+/// let plane = SpikePlane::from_tensor(&t);
+/// assert!(plane.is_binary());
+/// assert_eq!(plane.active(), &[1, 3]);
+/// assert_eq!(plane.density(), 0.5);
+/// ```
+#[derive(Debug, Default, PartialEq)]
+pub struct SpikePlane {
+    dense: Tensor,
+    active: Vec<u32>,
+    binary: bool,
+}
+
+impl Clone for SpikePlane {
+    fn clone(&self) -> Self {
+        SpikePlane {
+            dense: self.dense.clone(),
+            active: self.active.clone(),
+            binary: self.binary,
+        }
+    }
+
+    // The derived `clone_from` would reallocate; the encoders rely on this
+    // one reusing the destination's buffers when replaying direct-coded
+    // frames across timesteps.
+    fn clone_from(&mut self, source: &Self) {
+        self.dense.copy_from(&source.dense);
+        self.active.clone_from(&source.active);
+        self.binary = source.binary;
+    }
+}
+
+impl SpikePlane {
+    /// Creates an empty plane; populate it with [`SpikePlane::assign`] or
+    /// [`SpikePlane::begin`] + [`SpikePlane::push`].
+    pub fn new() -> Self {
+        SpikePlane {
+            dense: Tensor::zeros(&[0]),
+            active: Vec::new(),
+            binary: true,
+        }
+    }
+
+    /// Builds a plane from a dense tensor, scanning it once for the active
+    /// indices and the binary flag.
+    pub fn from_tensor(tensor: &Tensor) -> Self {
+        let mut plane = SpikePlane::new();
+        plane.assign(tensor);
+        plane
+    }
+
+    /// Rebuilds this plane from a dense tensor, reusing the existing
+    /// allocations. One scan recovers both the active-index list and whether
+    /// the values are all binary (0.0/1.0).
+    pub fn assign(&mut self, tensor: &Tensor) {
+        self.dense.copy_from(tensor);
+        self.active.clear();
+        self.binary = true;
+        for (i, &v) in tensor.as_slice().iter().enumerate() {
+            if v != 0.0 {
+                self.active.push(i as u32);
+                if v != 1.0 {
+                    self.binary = false;
+                }
+            }
+        }
+    }
+
+    /// Resets the plane to an all-silent binary frame of `shape`, keeping
+    /// allocations. Producers then emit spikes via [`SpikePlane::push`] (in
+    /// ascending index order) or [`SpikePlane::mark`] +
+    /// [`SpikePlane::rebuild_active`].
+    pub fn begin(&mut self, shape: &[usize]) {
+        self.dense.reset_to(shape, 0.0);
+        self.active.clear();
+        self.binary = true;
+    }
+
+    /// Emits a spike at flat index `idx`. Callers must push indices in
+    /// strictly ascending order (the order every producer naturally scans
+    /// in); the event consumers rely on it to reproduce the dense
+    /// accumulation order bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range, and debug-asserts the ordering.
+    pub fn push(&mut self, idx: usize) {
+        debug_assert!(
+            self.active.last().is_none_or(|&last| (last as usize) < idx),
+            "spike indices must be pushed in ascending order"
+        );
+        self.dense.as_mut_slice()[idx] = 1.0;
+        self.active.push(idx as u32);
+    }
+
+    /// Marks a spike in the dense backing only (idempotent, any order);
+    /// callers must finish with [`SpikePlane::rebuild_active`]. Used by
+    /// OR-pooling, whose event scatter does not visit outputs in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn mark(&mut self, idx: usize) {
+        self.dense.as_mut_slice()[idx] = 1.0;
+    }
+
+    /// Rebuilds the active-index list from the dense backing after a series
+    /// of [`SpikePlane::mark`] calls.
+    pub fn rebuild_active(&mut self) {
+        self.active.clear();
+        for (i, &v) in self.dense.as_slice().iter().enumerate() {
+            if v != 0.0 {
+                self.active.push(i as u32);
+            }
+        }
+    }
+
+    /// The dense tensor backing.
+    pub fn dense(&self) -> &Tensor {
+        &self.dense
+    }
+
+    /// Ascending flat indices of the non-zero elements.
+    pub fn active(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// Whether every element is exactly 0.0 or 1.0 (a true spike frame).
+    pub fn is_binary(&self) -> bool {
+        self.binary
+    }
+
+    /// Number of active (non-zero) elements.
+    pub fn count_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Shape of the dense backing.
+    pub fn shape(&self) -> &[usize] {
+        self.dense.shape()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// Whether the plane holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+
+    /// Fraction of elements that are active; 0.0 for an empty plane.
+    pub fn density(&self) -> f64 {
+        if self.dense.is_empty() {
+            0.0
+        } else {
+            self.active.len() as f64 / self.dense.len() as f64
+        }
+    }
+}
 
 /// A fixed-length binary spike vector, one bit per neuron, packed into `u64`
 /// words (little-endian bit order within each word).
@@ -594,6 +782,54 @@ mod tests {
         assert_eq!(vol.total_spikes(), 3 * 2 * 4);
         let bad = vec![Tensor::ones(&[2, 3, 2])];
         assert!(SpikeVolume::from_activations(&bad, 2, 2, 2).is_err());
+    }
+
+    #[test]
+    fn spike_plane_from_tensor_tracks_active_and_binary() {
+        use crate::tensor::Tensor;
+        let binary = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[2, 3]).unwrap();
+        let plane = SpikePlane::from_tensor(&binary);
+        assert!(plane.is_binary());
+        assert_eq!(plane.active(), &[0, 3, 4]);
+        assert_eq!(plane.count_active(), 3);
+        assert_eq!(plane.shape(), &[2, 3]);
+        assert!((plane.density() - 0.5).abs() < 1e-12);
+
+        let analog = Tensor::from_vec(vec![0.0, 0.7, 0.0, 1.0], &[4]).unwrap();
+        let plane = SpikePlane::from_tensor(&analog);
+        assert!(!plane.is_binary());
+        assert_eq!(plane.active(), &[1, 3]);
+    }
+
+    #[test]
+    fn spike_plane_incremental_push_matches_from_tensor() {
+        use crate::tensor::Tensor;
+        let mut incr = SpikePlane::new();
+        incr.begin(&[2, 2, 2]);
+        incr.push(1);
+        incr.push(5);
+        incr.push(7);
+        let mut dense = Tensor::zeros(&[2, 2, 2]);
+        for &i in &[1usize, 5, 7] {
+            dense.as_mut_slice()[i] = 1.0;
+        }
+        assert_eq!(incr, SpikePlane::from_tensor(&dense));
+        // begin() resets for reuse.
+        incr.begin(&[3]);
+        assert_eq!(incr.count_active(), 0);
+        assert_eq!(incr.dense().sum(), 0.0);
+    }
+
+    #[test]
+    fn spike_plane_mark_and_rebuild_sorts_active() {
+        let mut plane = SpikePlane::new();
+        plane.begin(&[8]);
+        plane.mark(6);
+        plane.mark(2);
+        plane.mark(6); // idempotent
+        plane.rebuild_active();
+        assert_eq!(plane.active(), &[2, 6]);
+        assert!(plane.is_binary());
     }
 
     #[test]

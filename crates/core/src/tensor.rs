@@ -59,6 +59,28 @@ impl Tensor {
         }
     }
 
+    /// Reshapes the tensor in place to `shape` and sets every element to
+    /// `value`, reusing the existing allocation when its capacity suffices.
+    /// This is the buffer-recycling primitive behind the allocation-free
+    /// inference loop: scratch tensors are `reset_to` the next layer's shape
+    /// instead of being reallocated every timestep.
+    pub fn reset_to(&mut self, shape: &[usize], value: f32) {
+        let len: usize = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.clear();
+        self.data.resize(len, value);
+    }
+
+    /// Copies another tensor's shape and contents into this one, reusing the
+    /// existing allocations (unlike the derived `clone_from`, which clones).
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&other.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Creates a tensor from a flat vector and a shape.
     ///
     /// # Errors
@@ -382,6 +404,14 @@ impl Tensor {
         let cols = out_h * out_w;
         out.data.clear();
         out.data.resize(rows * cols, 0.0);
+        out.rows = rows;
+        out.cols = cols;
+        out.out_h = out_h;
+        out.out_w = out_w;
+        if stride == 1 {
+            self.im2col_rows_stride1((kh, kw), padding, out);
+            return Ok(());
+        }
         let data = &mut out.data;
         for ci in 0..c {
             let channel = &self.data[ci * h * w..(ci + 1) * h * w];
@@ -406,11 +436,42 @@ impl Tensor {
                 }
             }
         }
-        out.rows = rows;
-        out.cols = cols;
-        out.out_h = out_h;
-        out.out_w = out_w;
         Ok(())
+    }
+
+    /// Stride-1 fast path of [`Tensor::im2col_into`]: each `(channel, ky,
+    /// kx)` matrix row is the input channel plane shifted by `(ky - padding,
+    /// kx - padding)`, so the interior is a contiguous row copy instead of a
+    /// bounds-checked per-element walk. Fills a bit-identical matrix.
+    fn im2col_rows_stride1(&self, (kh, kw): (usize, usize), padding: usize, out: &mut Im2Col) {
+        let (c, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (out_h, out_w) = (out.out_h, out.out_w);
+        let cols = out.cols;
+        let data = &mut out.data;
+        for ci in 0..c {
+            let channel = &self.data[ci * h * w..(ci + 1) * h * w];
+            for ki in 0..kh {
+                // Valid output rows: 0 <= oy + ki - padding < h.
+                let oy0 = padding.saturating_sub(ki);
+                let oy1 = (h + padding).saturating_sub(ki).min(out_h);
+                for kj in 0..kw {
+                    let row_base = (ci * kh * kw + ki * kw + kj) * cols;
+                    // Valid output columns: 0 <= ox + kj - padding < w.
+                    let ox0 = padding.saturating_sub(kj);
+                    let ox1 = (w + padding).saturating_sub(kj).min(out_w);
+                    if ox0 >= ox1 {
+                        continue;
+                    }
+                    let ix0 = ox0 + kj - padding;
+                    for oy in oy0..oy1 {
+                        let iy = oy + ki - padding;
+                        let src = &channel[iy * w + ix0..iy * w + ix0 + (ox1 - ox0)];
+                        data[row_base + oy * out_w + ox0..row_base + oy * out_w + ox1]
+                            .copy_from_slice(src);
+                    }
+                }
+            }
+        }
     }
 
     /// Inverse of [`Tensor::im2col`]: scatters a `[C * kh * kw, out_h * out_w]`
@@ -553,13 +614,49 @@ pub struct Im2Col {
 /// layers (forward and backward). It is deliberately a straightforward
 /// triple loop with the inner loop over `n` so the compiler can vectorise it.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0_f32; m * n];
+    matmul_to(a, b, m, k, n, &mut out);
+    out
+}
+
+/// Like [`matmul`] but writes into a caller-provided output slice of length
+/// `m * n` (overwriting its contents), so hot paths can reuse one buffer
+/// across calls. Produces bit-identical results to [`matmul`].
+pub fn matmul_to(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     assert_eq!(a.len(), m * k, "lhs matrix has wrong length");
     assert_eq!(b.len(), k * n, "rhs matrix has wrong length");
-    let mut out = vec![0.0_f32; m * n];
+    assert_eq!(out.len(), m * n, "out matrix has wrong length");
+    out.fill(0.0);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
+        // Process four b-rows per output pass: quarters the load/store
+        // traffic on the output row, which dominates the inner loop. The
+        // per-element adds stay in ascending-p order (`t += a0*b0` then
+        // `t += a1*b1`, never a reassociated `t += a0*b0 + a1*b1`), so
+        // results are bit-identical to the single-row loop.
+        let mut p = 0;
+        while p + 4 <= k {
+            let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                p += 4;
+                continue;
+            }
+            let b0 = &b[p * n..(p + 1) * n];
+            let b1 = &b[(p + 1) * n..(p + 2) * n];
+            let b2 = &b[(p + 2) * n..(p + 3) * n];
+            let b3 = &b[(p + 3) * n..(p + 4) * n];
+            for o in 0..n {
+                let mut t = out_row[o];
+                t += a0 * b0[o];
+                t += a1 * b1[o];
+                t += a2 * b2[o];
+                t += a3 * b3[o];
+                out_row[o] = t;
+            }
+            p += 4;
+        }
+        for (p, &a_ip) in a_row.iter().enumerate().skip(p) {
             if a_ip == 0.0 {
                 continue;
             }
@@ -569,7 +666,6 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
             }
         }
     }
-    out
 }
 
 /// Multiplies the transpose of an `[k, m]` row-major matrix by a `[k, n]`
@@ -682,6 +778,29 @@ mod tests {
         let b = vec![5.0, 6.0, 7.0, 8.0];
         let c = matmul(&a, &b, 2, 2, 2);
         assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_to_matches_matmul_and_reuses_buffer() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut out = vec![f32::NAN; 4];
+        matmul_to(&a, &b, 2, 2, 2, &mut out);
+        assert_eq!(out, matmul(&a, &b, 2, 2, 2));
+        // A second call fully overwrites stale contents.
+        matmul_to(&b, &a, 2, 2, 2, &mut out);
+        assert_eq!(out, matmul(&b, &a, 2, 2, 2));
+    }
+
+    #[test]
+    fn reset_to_reshapes_and_refills() {
+        let mut t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        t.reset_to(&[3], 0.5);
+        assert_eq!(t.shape(), &[3]);
+        assert_eq!(t.as_slice(), &[0.5; 3]);
+        t.reset_to(&[2, 3], 0.0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.sum(), 0.0);
     }
 
     #[test]

@@ -75,6 +75,28 @@ struct EngineShared {
     encoder: Encoder,
     plan: EstimatePlan,
     precision: Precision,
+    threads: usize,
+}
+
+/// Resolves the worker-thread count for batched inference: an explicit
+/// builder setting wins, then the `SNN_THREADS` environment variable, then
+/// the machine's available parallelism. Values below 1 (builder or env)
+/// clamp to 1 — sequential execution — matching
+/// [`EngineBuilder::threads`]'s documented behavior; an unparsable
+/// `SNN_THREADS` is ignored.
+fn resolve_threads(builder_threads: Option<usize>) -> usize {
+    builder_threads
+        .or_else(|| {
+            std::env::var("SNN_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
 }
 
 /// Fused result of one inference: classification output, per-layer spike
@@ -175,6 +197,7 @@ pub struct EngineBuilder {
     precision: Precision,
     fold_batchnorm: bool,
     hardware: HardwareSpec,
+    threads: Option<usize>,
 }
 
 impl Default for EngineBuilder {
@@ -185,6 +208,7 @@ impl Default for EngineBuilder {
             precision: Precision::Fp32,
             fold_batchnorm: false,
             hardware: HardwareSpec::Auto,
+            threads: None,
         }
     }
 }
@@ -248,6 +272,19 @@ impl EngineBuilder {
             dataset: dataset.into(),
             scale,
         };
+        self
+    }
+
+    /// Sets the number of worker threads `Session::run_batch` fans images
+    /// out over. Values below 1 are clamped to 1 (sequential execution).
+    ///
+    /// Default: the `SNN_THREADS` environment variable if set, otherwise the
+    /// machine's available parallelism. Batched results are bitwise-identical
+    /// at every thread count — images are independent (per-image seeds, one
+    /// `RunState` per worker).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -323,9 +360,34 @@ impl EngineBuilder {
                 encoder: self.encoder,
                 plan,
                 precision: self.precision,
+                threads: resolve_threads(self.threads),
             }),
         })
     }
+}
+
+/// One fused inference: network forward (event-driven where the input is
+/// sparse enough) plus the hardware estimate. Shared by the sequential and
+/// parallel batch paths — each caller brings its own `RunState`, which is all
+/// the mutable state an inference needs.
+fn run_one(
+    shared: &EngineShared,
+    state: &mut RunState,
+    image: &Tensor,
+    seed: u64,
+) -> Result<RunReport, SnnError> {
+    let output = shared
+        .network
+        .run_with_state(image, &shared.encoder, seed, state)?;
+    let hardware = shared.plan.estimate(&output.traces)?;
+    Ok(RunReport {
+        logits: output.logits,
+        prediction: output.prediction,
+        record: output.record,
+        traces: output.traces,
+        timesteps: output.timesteps,
+        hardware,
+    })
 }
 
 /// Rate-coded inputs are binary spikes and bypass the dense core; a hardware
@@ -369,6 +431,7 @@ impl Engine {
         Session {
             shared: Arc::clone(&self.shared),
             state,
+            worker_states: Vec::new(),
         }
     }
 
@@ -419,20 +482,32 @@ impl Engine {
                 encoder: self.shared.encoder,
                 plan,
                 precision: self.shared.precision,
+                threads: self.shared.threads,
             }),
         })
+    }
+
+    /// The number of worker threads [`Session::run_batch`] fans out over.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
     }
 }
 
 /// Per-thread inference handle vended by [`Engine::session`].
 ///
-/// Owns the mutable run state — LIF membrane potentials, firing history and
-/// the im2col scratch buffer — which is reset (not reallocated) between runs,
-/// so batched inference pays no per-image allocation cost for them.
+/// Owns the mutable run state — LIF membrane potentials, firing history,
+/// spike-plane ping-pong buffers and the conv im2col/gather scratch — which
+/// is reset (not reallocated) between runs, so batched inference pays no
+/// per-image allocation cost for them. When the engine's thread count is
+/// above one, [`Session::run_batch`] fans images out over scoped worker
+/// threads, each with its own lazily created (then cached) `RunState`.
 #[derive(Debug)]
 pub struct Session {
     shared: Arc<EngineShared>,
     state: RunState,
+    /// Per-worker run states for parallel batches, created on first use and
+    /// reused by subsequent `run_batch` calls.
+    worker_states: Vec<RunState>,
 }
 
 impl Session {
@@ -453,34 +528,25 @@ impl Session {
     ///
     /// Same as [`Session::run`].
     pub fn run_seeded(&mut self, image: &Tensor, seed: u64) -> Result<RunReport, SnnError> {
-        let shared = &self.shared;
-        let output =
-            shared
-                .network
-                .run_with_state(image, &shared.encoder, seed, &mut self.state)?;
-        let hardware = shared.plan.estimate(&output.traces)?;
-        Ok(RunReport {
-            logits: output.logits,
-            prediction: output.prediction,
-            record: output.record,
-            traces: output.traces,
-            timesteps: output.timesteps,
-            hardware,
-        })
+        run_one(&self.shared, &mut self.state, image, seed)
     }
 
-    /// Runs a batch of images through the session, reusing the preallocated
-    /// state across images, and returns per-image reports plus aggregates.
+    /// Runs a batch of images through the session and returns per-image
+    /// reports plus aggregates. Images are fanned out over the engine's
+    /// worker-thread count (builder [`EngineBuilder::threads`], `SNN_THREADS`
+    /// or the available parallelism); each worker reuses its own preallocated
+    /// run state across the batch.
     ///
-    /// Deterministic: image `i` runs with encoder seed `i`, so the logits are
+    /// Deterministic at every thread count: image `i` runs with encoder seed
+    /// `i` and its own independent LIF/encoder state, so the logits are
     /// bitwise-identical to `N` sequential [`Session::run_seeded`] calls with
     /// seeds `0..N` (or to `SnnNetwork::run_seeded` on the same quantized
-    /// network).
+    /// network), regardless of how the batch was partitioned.
     ///
     /// # Errors
     ///
-    /// Fails on the first image that errors; same conditions as
-    /// [`Session::run`].
+    /// Returns the error of the lowest-indexed image that fails; same
+    /// conditions as [`Session::run`].
     pub fn run_batch(&mut self, images: &[Tensor]) -> Result<BatchReport, SnnError> {
         self.run_batch_seeded(images, 0)
     }
@@ -496,20 +562,70 @@ impl Session {
         images: &[Tensor],
         base_seed: u64,
     ) -> Result<BatchReport, SnnError> {
+        let workers = self.shared.threads.min(images.len()).max(1);
+        if workers <= 1 {
+            let mut reports = Vec::with_capacity(images.len());
+            for (i, image) in images.iter().enumerate() {
+                reports.push(self.run_seeded(image, base_seed + i as u64)?);
+            }
+            return Ok(Self::aggregate(reports));
+        }
+
+        // One cached RunState per worker; grown on first use.
+        while self.worker_states.len() < workers {
+            self.worker_states
+                .push(RunState::new(&self.shared.network)?);
+        }
+        let shared = &self.shared;
+        let chunk = images.len().div_ceil(workers);
+        // Contiguous chunks keep report order == image order; every worker
+        // derives its seeds from the global image index, so partitioning
+        // never changes results.
+        let chunk_results: Vec<Vec<Result<RunReport, SnnError>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = images
+                .chunks(chunk)
+                .zip(self.worker_states.iter_mut())
+                .enumerate()
+                .map(|(w, (chunk_images, state))| {
+                    scope.spawn(move || {
+                        chunk_images
+                            .iter()
+                            .enumerate()
+                            .map(|(j, image)| {
+                                let seed = base_seed + (w * chunk + j) as u64;
+                                run_one(shared, state, image, seed)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker thread panicked"))
+                .collect()
+        });
+
         let mut reports = Vec::with_capacity(images.len());
+        for result in chunk_results.into_iter().flatten() {
+            reports.push(result?);
+        }
+        Ok(Self::aggregate(reports))
+    }
+
+    /// Sums the per-image hardware aggregates in image order (matching the
+    /// sequential accumulation order bitwise).
+    fn aggregate(reports: Vec<RunReport>) -> BatchReport {
         let mut total_latency_ms = 0.0;
         let mut total_energy_mj = 0.0;
-        for (i, image) in images.iter().enumerate() {
-            let report = self.run_seeded(image, base_seed + i as u64)?;
+        for report in &reports {
             total_latency_ms += report.hardware.latency_ms;
             total_energy_mj += report.hardware.total_energy_mj;
-            reports.push(report);
         }
-        Ok(BatchReport {
+        BatchReport {
             reports,
             total_latency_ms,
             total_energy_mj,
-        })
+        }
     }
 
     /// Re-estimates previously recorded traces under this session's hardware

@@ -9,8 +9,19 @@
 //! Each benchmark warms up briefly, then takes [`Criterion::SAMPLES`] timed
 //! samples of an adaptively chosen iteration batch and reports the median
 //! time per iteration (and derived throughput when one was declared).
+//!
+//! Two harness controls mirror real criterion:
+//!
+//! * `--test` on the bench binary's command line (`cargo bench -- --test`)
+//!   runs every benchmark body exactly once without timing — the CI smoke
+//!   mode that keeps the benches compiling and runnable.
+//! * the `BENCH_JSON` environment variable names a file to append one JSON
+//!   line per benchmark to (`{"label":…,"ns_per_iter":…,"throughput":…}`),
+//!   so perf baselines like `BENCH_batch.json` can be regenerated
+//!   mechanically.
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Re-export-compatible opaque-value helper.
@@ -55,14 +66,26 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Whether the bench binary was invoked in `--test` smoke mode
+/// (`cargo bench -- --test`): run every benchmark body once, skip timing.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Timing loop handed to each benchmark closure.
 pub struct Bencher {
     median_ns: f64,
+    smoke: bool,
 }
 
 impl Bencher {
-    /// Runs `f` repeatedly and records the median time per call.
+    /// Runs `f` repeatedly and records the median time per call (or exactly
+    /// once in `--test` smoke mode).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            return;
+        }
         // Warm-up and batch sizing: grow the batch until it takes >= 5 ms.
         let mut batch = 1_u64;
         loop {
@@ -158,8 +181,16 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
-    let mut bencher = Bencher { median_ns: 0.0 };
+    let smoke = smoke_mode();
+    let mut bencher = Bencher {
+        median_ns: 0.0,
+        smoke,
+    };
     f(&mut bencher);
+    if smoke {
+        println!("{label:<48} smoke ok (1 iteration, untimed)");
+        return;
+    }
     let per_iter = bencher.median_ns;
     let human = if per_iter >= 1e9 {
         format!("{:.3} s", per_iter / 1e9)
@@ -181,6 +212,55 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, 
         }
         None => println!("{label:<48} {human:>12}/iter"),
     }
+    append_json(label, per_iter, throughput);
+}
+
+/// Appends one JSON line for the finished benchmark to the file named by the
+/// `BENCH_JSON` environment variable, if set. Failures are reported to
+/// stderr but never fail the bench run.
+fn append_json(label: &str, per_iter_ns: f64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let label = json_escape(label);
+    let throughput_field = match throughput {
+        Some(Throughput::Elements(n)) => format!(
+            ",\"elements\":{n},\"elements_per_sec\":{:.1}",
+            n as f64 / (per_iter_ns / 1e9)
+        ),
+        Some(Throughput::Bytes(n)) => format!(
+            ",\"bytes\":{n},\"bytes_per_sec\":{:.1}",
+            n as f64 / (per_iter_ns / 1e9)
+        ),
+        None => String::new(),
+    };
+    let line =
+        format!("{{\"label\":\"{label}\",\"ns_per_iter\":{per_iter_ns:.1}{throughput_field}}}\n");
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(err) = result {
+        eprintln!("BENCH_JSON: could not append to {path}: {err}");
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Collects bench functions into a runnable group, mirroring criterion's API.
