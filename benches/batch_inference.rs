@@ -1,4 +1,4 @@
-//! Criterion benches of the inference hot path.
+//! Criterion benches of the inference and training hot paths.
 //!
 //! * `batch_inference` — `Session::run_batch` throughput (images/sec) on
 //!   `Vgg9Config::cifar10_small` at batch sizes 1, 8, 32 and 64, using the
@@ -8,19 +8,28 @@
 //!   im2col + matmul forward on a CONV2-like layer at 5%/20%/50% input spike
 //!   density, tracking the sparse/dense crossover that
 //!   `Conv2d::sparse_crossover` encodes.
+//! * `matmul_blocked_vs_naive` — the cache-blocked `matmul_to` kernel vs the
+//!   retained `matmul_naive_to` reference on paper-scale dense-fallback
+//!   shapes (results are bitwise identical; only the speed differs).
+//! * `train_epoch` — one BPTT sample (event-driven vs retained dense sweep)
+//!   and one full `Trainer::fit` epoch over 8 synthetic samples.
 //!
 //! Run with: `cargo bench --bench batch_inference`
-//! Machine-readable output: `BENCH_JSON=BENCH_batch.json cargo bench ...`
-//! appends one JSON line per benchmark (see `BENCH_batch.json` for the
-//! checked-in baseline history).
+//! Machine-readable output: `BENCH_JSON=out.json cargo bench ...` appends
+//! one JSON line per benchmark (see `BENCH_batch.json` / `BENCH_matmul.json`
+//! for the checked-in baseline history).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snn::train::bptt::Bptt;
+use snn::train::surrogate::SurrogateKind;
+use snn::train::trainer::{TrainConfig, Trainer};
 use snn::{Engine, Precision};
 use snn_core::encoding::Encoder;
-use snn_core::layers::Conv2d;
+use snn_core::layers::{Conv2d, ConvScratch};
 use snn_core::network::{vgg9, Vgg9Config};
 use snn_core::spike::SpikePlane;
-use snn_core::tensor::{Im2Col, Tensor};
+use snn_core::tensor::{matmul_naive_to, matmul_to_with, Tensor};
+use snn_data::{SyntheticConfig, SyntheticDataset};
 
 fn bench_batches(c: &mut Criterion) {
     let cfg = Vgg9Config::cifar10_small();
@@ -81,7 +90,7 @@ fn bench_sparse_conv(c: &mut Criterion) {
             BenchmarkId::new("dense", format!("{:.0}%", density * 100.0)),
             &input,
             |b, input| {
-                let mut scratch = Im2Col::default();
+                let mut scratch = ConvScratch::new();
                 let mut out = Tensor::zeros(&[0]);
                 b.iter(|| {
                     conv.forward_into(input, &mut scratch, &mut out)
@@ -93,5 +102,91 @@ fn bench_sparse_conv(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batches, bench_sparse_conv);
+/// Deterministic dense matrix with ~25% exact zeros, the regime the
+/// zero-skipping kernels see on membrane-current inputs.
+fn bench_matrix(rows: usize, cols: usize, seed: usize) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|i| {
+            let h = (i + seed).wrapping_mul(2_654_435_761) % 1000;
+            if h < 250 {
+                0.0
+            } else {
+                (h as f32 - 500.0) * 1e-3
+            }
+        })
+        .collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_blocked_vs_naive");
+    // Paper-scale dense-fallback shapes: CONV1_1 (the analog direct-coded
+    // input layer, 64×27 filter bank over a 32×32 map) and a CONV2_2-like
+    // deep-layer geometry where the im2col matrix no longer fits L1.
+    for &(label, m, k, n) in &[
+        ("conv1_1_64x27x1024", 64_usize, 27_usize, 1024_usize),
+        ("conv2_2_216x1008x256", 216, 1008, 256),
+    ] {
+        let a = bench_matrix(m, k, 1);
+        let b = bench_matrix(k, n, 2);
+        let mut out = vec![0.0_f32; m * n];
+        let mut panel = Vec::new();
+        group.bench_function(BenchmarkId::new("blocked", label), |bch| {
+            bch.iter(|| matmul_to_with(&a, &b, m, k, n, &mut out, &mut panel));
+        });
+        group.bench_function(BenchmarkId::new("naive", label), |bch| {
+            bch.iter(|| matmul_naive_to(&a, &b, m, k, n, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_train(c: &mut Criterion) {
+    let net = vgg9(&Vgg9Config::cifar10_small()).expect("vgg9 builds");
+    let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.017).sin().abs());
+    let encoder = Encoder::paper_direct();
+    let bptt = Bptt::new(
+        SurrogateKind::paper_default(),
+        snn_core::quant::Precision::Fp32,
+    );
+    let effective = bptt.prepare(&net).expect("prepare");
+    let data = SyntheticDataset::generate(SyntheticConfig::cifar10_like().scaled_down(16, 20, 10));
+
+    let mut group = c.benchmark_group("train_epoch");
+    // One forward+backward sample: the shipped event-driven sweep vs the
+    // retained dense reference sweep (bitwise-equal gradients).
+    group.bench_function("sample_event", |b| {
+        b.iter(|| {
+            bptt.sample_gradients_prepared(&net, &effective, &image, 3, &encoder, 0)
+                .expect("event sweep")
+        });
+    });
+    group.bench_function("sample_dense", |b| {
+        b.iter(|| {
+            bptt.sample_gradients_dense(&net, &image, 3, &encoder, 0)
+                .expect("dense sweep")
+        });
+    });
+    // A full epoch through the trainer: 8 samples, batch 4, single thread
+    // (the reference machine has one core).
+    let mut cfg = TrainConfig::quick();
+    cfg.max_train_samples = Some(8);
+    cfg.batch_size = 4;
+    cfg.threads = 1;
+    group.bench_function("fit_8samples", |b| {
+        b.iter(|| {
+            let mut trainer = Trainer::new(cfg.clone());
+            let mut train_net = net.clone();
+            trainer.fit(&mut train_net, &data).expect("fit")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batches,
+    bench_sparse_conv,
+    bench_matmul,
+    bench_train
+);
 criterion_main!(benches);

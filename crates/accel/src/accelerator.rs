@@ -161,6 +161,36 @@ impl HybridAccelerator {
         let power_est =
             power::estimate(&resources, self.config.precision, self.config.clock_gating);
         let watts: Vec<f64> = power_est.layers.iter().map(|l| l.dynamic_watts).collect();
+        // Memoize the trace-independent half of the per-layer cycle models:
+        // the dense core's timing depends only on geometry + timesteps (one
+        // fixed cycle count for every image of the batch), and each sparse
+        // layer's core configuration (NC count, chunk width) never changes
+        // between traces. Per estimate only the spike-count folding remains.
+        let cycle_models = self
+            .geometry
+            .iter()
+            .enumerate()
+            .map(|(i, geo)| {
+                if self.config.dense_core_enabled && i == 0 {
+                    Ok(LayerCycleModel::Dense {
+                        cycles: DenseCore::new(self.config.dense_rows)
+                            .timing(geo.out_channels, geo.out_height, geo.out_width, timesteps)
+                            .total_cycles,
+                    })
+                } else {
+                    let sparse_index = if self.config.dense_core_enabled {
+                        i - 1
+                    } else {
+                        i
+                    };
+                    let ncs = self.config.cores_for_sparse_layer(sparse_index)?;
+                    Ok(LayerCycleModel::Sparse {
+                        core: SparseCore::new(ncs, self.config.chunk_bits),
+                    })
+                }
+            })
+            .collect::<Result<_, SnnError>>()?;
+        let names: Vec<String> = self.geometry.iter().map(|g| g.name.clone()).collect();
         Ok(EstimatePlan {
             config: self.config.clone(),
             geometry: self.geometry.clone(),
@@ -169,6 +199,8 @@ impl HybridAccelerator {
             static_watts: power_est.static_watts,
             watts,
             resources,
+            cycle_models,
+            names,
         })
     }
 
@@ -207,6 +239,26 @@ pub struct EstimatePlan {
     static_watts: f64,
     watts: Vec<f64>,
     resources: ResourceEstimate,
+    cycle_models: Vec<LayerCycleModel>,
+    names: Vec<String>,
+}
+
+/// The precomputed (trace-independent) cycle model of one weight layer: the
+/// dense input layer's cycle count is fixed for the plan's timestep count and
+/// shared by every image of a batch, while a sparse layer keeps its
+/// configured core and only folds the per-trace spike counts per estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum LayerCycleModel {
+    /// Dense systolic input layer: workload is input-independent.
+    Dense {
+        /// Total cycles for one image at the plan's timestep count.
+        cycles: u64,
+    },
+    /// Event-driven sparse layer: cycles depend on the trace's spike counts.
+    Sparse {
+        /// The configured sparse-core instance.
+        core: SparseCore,
+    },
 }
 
 impl EstimatePlan {
@@ -259,34 +311,30 @@ impl EstimatePlan {
             ));
         }
 
-        // Per-layer cycles.
+        // Per-layer cycles: fold the trace's spike counts through the
+        // memoized cycle models — the only per-trace work left in a batch.
         let mut cycles = Vec::with_capacity(self.geometry.len());
-        for (i, (geo, trace)) in self.geometry.iter().zip(weight_traces.iter()).enumerate() {
-            let is_dense = self.config.dense_core_enabled && i == 0;
-            let layer_cycles = if is_dense {
-                DenseCore::new(self.config.dense_rows)
-                    .timing(geo.out_channels, geo.out_height, geo.out_width, timesteps)
-                    .total_cycles
-            } else {
-                let sparse_index = if self.config.dense_core_enabled {
-                    i - 1
-                } else {
-                    i
-                };
-                let ncs = self.config.cores_for_sparse_layer(sparse_index)?;
-                let core = SparseCore::new(ncs, self.config.chunk_bits);
-                if geo.is_conv {
-                    core.conv_timing(&trace.input_events, geo).total_cycles
-                } else {
-                    core.linear_timing(&trace.input_events, geo).total_cycles
+        for ((geo, trace), model) in self
+            .geometry
+            .iter()
+            .zip(weight_traces.iter())
+            .zip(self.cycle_models.iter())
+        {
+            let layer_cycles = match model {
+                LayerCycleModel::Dense { cycles } => *cycles,
+                LayerCycleModel::Sparse { core } => {
+                    if geo.is_conv {
+                        core.conv_timing(&trace.input_events, geo).total_cycles
+                    } else {
+                        core.linear_timing(&trace.input_events, geo).total_cycles
+                    }
                 }
             };
             cycles.push(layer_cycles);
         }
 
-        let names: Vec<String> = self.geometry.iter().map(|g| g.name.clone()).collect();
         let energy_est = energy::estimate(
-            &names,
+            &self.names,
             &cycles,
             &self.watts,
             self.config.clock_mhz,
@@ -390,6 +438,46 @@ mod tests {
         // The bottleneck layer bounds the throughput.
         let b = report.bottleneck().unwrap();
         assert!((report.throughput_fps - 1e8 / b.cycles as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_plan_estimates_identically_to_fresh_plans() {
+        // A batch of different images estimated through ONE memoized plan
+        // must report exactly what per-image fresh plans (the un-memoized
+        // path) report — the estimate memoization may not change a single
+        // bit of the hardware numbers.
+        let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+        let accel = HybridAccelerator::new(&net, small_config(Precision::Int4)).unwrap();
+        let shared = accel.plan(2).unwrap();
+        for phase in 0..4 {
+            let image = Tensor::from_fn(&[3, 16, 16], |i| {
+                (((i + phase * 131) as f32) * 0.011).sin().abs()
+            });
+            let traces = net.run(&image, &Encoder::direct(2)).unwrap().traces;
+            let memoized = shared.estimate(&traces).unwrap();
+            let fresh = accel.estimate(&traces).unwrap();
+            assert_eq!(memoized, fresh, "image {phase}");
+        }
+    }
+
+    #[test]
+    fn identical_workloads_share_the_dense_cycle_model() {
+        // Two runs of the same image produce identical traces; the shared
+        // plan must fold them to identical reports (and the dense input
+        // layer's cycles are the plan's precomputed constant).
+        let (net, traces) = small_traces(&Encoder::direct(2));
+        let accel = HybridAccelerator::new(&net, small_config(Precision::Int4)).unwrap();
+        let plan = accel.plan(2).unwrap();
+        let a = plan.estimate(&traces).unwrap();
+        let b = plan.estimate(&traces).unwrap();
+        assert_eq!(a, b);
+        match &plan.cycle_models[0] {
+            LayerCycleModel::Dense { cycles } => {
+                assert_eq!(*cycles, a.layers[0].cycles);
+            }
+            other => panic!("input layer should use the dense model, got {other:?}"),
+        }
+        drop(net);
     }
 
     #[test]

@@ -3,24 +3,25 @@
 use crate::error::SnnError;
 use crate::quant::{fake_quantize, Precision};
 use crate::spike::SpikePlane;
-use crate::tensor::{matmul_to, Im2Col, Tensor};
+use crate::tensor::{matmul_to_with, Im2Col, Tensor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Floor of the sparse/dense crossover density returned by
 /// [`Conv2d::sparse_crossover`]: below this input density the event-driven
 /// path wins for every layer geometry.
 pub const SPARSE_DENSITY_CROSSOVER: f64 = 0.2;
 
-/// Reusable scratch for [`Conv2d::forward_plane_into`]: the im2col buffer of
-/// the dense fallback plus the gather list of the event-driven path. One
-/// instance lives in the network's `RunState` and is shared by every conv
-/// layer of a run.
+/// Reusable scratch for [`Conv2d::forward_plane_into`]: the im2col and
+/// packed-matmul-panel buffers of the dense fallback plus the gather list and
+/// accumulator of the event-driven path. One instance lives in the network's
+/// `RunState` and is shared by every conv layer of a run.
 #[derive(Debug, Clone, Default)]
 pub struct ConvScratch {
     cols: Im2Col,
+    panel: Vec<f32>,
     taps: Vec<(u32, u32)>,
-    wt: Vec<f32>,
     acc: Vec<f32>,
 }
 
@@ -58,7 +59,7 @@ impl ConvScratch {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     in_channels: usize,
     out_channels: usize,
@@ -67,6 +68,61 @@ pub struct Conv2d {
     padding: usize,
     weight: Tensor,
     bias: Tensor,
+    /// Lazily built `[in_c * k², out_c]` transposed filter bank consumed by
+    /// the event-driven forward, so each call no longer re-transposes the
+    /// weights. Derived data: every weight mutation path clears it
+    /// ([`Conv2d::invalidate_cache`]), it is excluded from equality, and it
+    /// is not serialized (a deserialized layer starts cold).
+    wt: OnceLock<Vec<f32>>,
+}
+
+/// Equality is over the layer's semantic state (geometry + parameters); the
+/// derived transposed-weight cache is ignored, so a cold and a warmed-up copy
+/// of the same layer compare equal.
+impl PartialEq for Conv2d {
+    fn eq(&self, other: &Self) -> bool {
+        self.in_channels == other.in_channels
+            && self.out_channels == other.out_channels
+            && self.kernel == other.kernel
+            && self.stride == other.stride
+            && self.padding == other.padding
+            && self.weight == other.weight
+            && self.bias == other.bias
+    }
+}
+
+// Manual (rather than derived) impls so the cache field stays out of the
+// serialized form — the on-disk layout is identical to the pre-cache derive.
+impl Serialize for Conv2d {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("in_channels".to_string(), self.in_channels.to_value()),
+            ("out_channels".to_string(), self.out_channels.to_value()),
+            ("kernel".to_string(), self.kernel.to_value()),
+            ("stride".to_string(), self.stride.to_value()),
+            ("padding".to_string(), self.padding.to_value()),
+            ("weight".to_string(), self.weight.to_value()),
+            ("bias".to_string(), self.bias.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Conv2d {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| serde::DeError::new("expected object for Conv2d"))?;
+        Ok(Conv2d {
+            in_channels: serde::__field(obj, "in_channels", "Conv2d")?,
+            out_channels: serde::__field(obj, "out_channels", "Conv2d")?,
+            kernel: serde::__field(obj, "kernel", "Conv2d")?,
+            stride: serde::__field(obj, "stride", "Conv2d")?,
+            padding: serde::__field(obj, "padding", "Conv2d")?,
+            weight: serde::__field(obj, "weight", "Conv2d")?,
+            bias: serde::__field(obj, "bias", "Conv2d")?,
+            wt: OnceLock::new(),
+        })
+    }
 }
 
 impl Conv2d {
@@ -102,6 +158,7 @@ impl Conv2d {
             padding,
             weight: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
             bias: Tensor::zeros(&[out_channels]),
+            wt: OnceLock::new(),
         })
     }
 
@@ -163,9 +220,34 @@ impl Conv2d {
         &self.weight
     }
 
-    /// Mutable weight tensor.
+    /// Mutable weight tensor. Invalidates the transposed-weight cache: the
+    /// caller may mutate any coefficient through the returned reference.
     pub fn weight_mut(&mut self) -> &mut Tensor {
+        self.invalidate_cache();
         &mut self.weight
+    }
+
+    /// Clears the lazily built transposed filter bank. Every path that can
+    /// change `weight` must call this so the event-driven forward never reads
+    /// stale coefficients (optimizer steps mutate weights between batches).
+    fn invalidate_cache(&mut self) {
+        self.wt.take();
+    }
+
+    /// The `[in_c * k², out_c]` transposed filter bank of the event-driven
+    /// forward, built on first use and cached until a weight mutation.
+    fn transposed_weight(&self) -> &[f32] {
+        self.wt.get_or_init(|| {
+            let ck2 = self.coefficients_per_output();
+            let oc_n = self.out_channels;
+            let mut wt = vec![0.0_f32; ck2 * oc_n];
+            for (oc, wrow) in self.weight.as_slice().chunks_exact(ck2).enumerate() {
+                for (p, &wv) in wrow.iter().enumerate() {
+                    wt[p * oc_n + oc] = wv;
+                }
+            }
+            wt
+        })
     }
 
     /// Bias vector of shape `[out_channels]`.
@@ -198,6 +280,7 @@ impl Conv2d {
                 "Conv2d::set_weight",
             ));
         }
+        self.invalidate_cache();
         self.weight = weight;
         Ok(())
     }
@@ -263,14 +346,14 @@ impl Conv2d {
     ///
     /// Returns [`SnnError::ShapeMismatch`] for a wrongly-shaped input.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, SnnError> {
-        let mut scratch = Im2Col::default();
+        let mut scratch = ConvScratch::new();
         self.forward_with_scratch(input, &mut scratch)
     }
 
     /// Like [`Conv2d::forward`] but lowers the input into a caller-provided
-    /// [`Im2Col`] buffer, so repeated inferences (sessions, batches) avoid the
-    /// dominant per-call allocation. Produces bit-identical results to
-    /// [`Conv2d::forward`].
+    /// [`ConvScratch`] (its im2col buffer and packed matmul panel), so
+    /// repeated inferences (sessions, batches) avoid the dominant per-call
+    /// allocations. Produces bit-identical results to [`Conv2d::forward`].
     ///
     /// # Errors
     ///
@@ -278,7 +361,7 @@ impl Conv2d {
     pub fn forward_with_scratch(
         &self,
         input: &Tensor,
-        scratch: &mut Im2Col,
+        scratch: &mut ConvScratch,
     ) -> Result<Tensor, SnnError> {
         let mut out = Tensor::zeros(&[0]);
         self.forward_into(input, scratch, &mut out)?;
@@ -286,7 +369,7 @@ impl Conv2d {
     }
 
     /// Fully allocation-free dense forward: lowers into the caller's
-    /// [`Im2Col`] scratch and writes the output currents into `out`
+    /// [`ConvScratch`] and writes the output currents into `out`
     /// (reshaped/reused in place). Bit-identical to [`Conv2d::forward`].
     ///
     /// # Errors
@@ -295,37 +378,26 @@ impl Conv2d {
     pub fn forward_into(
         &self,
         input: &Tensor,
-        scratch: &mut Im2Col,
+        scratch: &mut ConvScratch,
         out: &mut Tensor,
     ) -> Result<(), SnnError> {
         input.im2col_into(
             (self.kernel, self.kernel),
             self.stride,
             self.padding,
-            scratch,
+            &mut scratch.cols,
         )?;
-        self.matmul_cols(scratch, input.shape(), out)
-    }
-
-    /// Shared dense tail: multiplies the flattened filter bank
-    /// `[out_channels, in_channels * k * k]` with an im2col matrix and adds
-    /// the bias, writing into `out`.
-    fn matmul_cols(
-        &self,
-        cols: &Im2Col,
-        input_shape: &[usize],
-        out: &mut Tensor,
-    ) -> Result<(), SnnError> {
-        let out_shape = self.output_shape(input_shape)?;
+        let out_shape = self.output_shape(input.shape())?;
         let k = self.coefficients_per_output();
         out.reset_to(&out_shape, 0.0);
-        matmul_to(
+        matmul_to_with(
             self.weight.as_slice(),
-            &cols.data,
+            &scratch.cols.data,
             self.out_channels,
             k,
-            cols.cols,
+            scratch.cols.cols,
             out.as_mut_slice(),
+            &mut scratch.panel,
         );
         self.add_bias(out_shape[1] * out_shape[2], out.as_mut_slice());
         Ok(())
@@ -368,7 +440,7 @@ impl Conv2d {
         if plane.is_binary() && plane.density() < self.sparse_crossover() {
             self.forward_spikes_with(plane, scratch, out)
         } else {
-            self.forward_into(plane.dense(), &mut scratch.cols, out)
+            self.forward_into(plane.dense(), scratch, out)
         }
     }
 
@@ -407,7 +479,6 @@ impl Conv2d {
         let (oh, ow) = (out_shape[1], out_shape[2]);
         let k = self.kernel;
         let kk = k * k;
-        let ck2 = self.coefficients_per_output();
         let cell_count = oh * ow;
         // Pass 1: turn each input event into its (weight-row offset, output
         // cell) taps. Scanning events in ascending index order and taps in
@@ -455,17 +526,11 @@ impl Conv2d {
         // loop and a counting-sort-by-cell variant were benchmarked and
         // lost.) Per output neuron the contributions still arrive in
         // ascending weight-row order — for every channel simultaneously — so
-        // the sums stay bitwise equal to the dense path.
+        // the sums stay bitwise equal to the dense path. The transposed
+        // filter bank is cached on the layer and only rebuilt after a weight
+        // mutation.
         let oc_n = self.out_channels;
-        let wt = &mut scratch.wt;
-        wt.clear();
-        wt.resize(ck2 * oc_n, 0.0);
-        let wdat = self.weight.as_slice();
-        for (oc, wrow) in wdat.chunks_exact(ck2).enumerate() {
-            for (p, &wv) in wrow.iter().enumerate() {
-                wt[p * oc_n + oc] = wv;
-            }
-        }
+        let wt = self.transposed_weight();
         let acc = &mut scratch.acc;
         acc.clear();
         acc.resize(cell_count * oc_n, 0.0);
@@ -510,6 +575,7 @@ impl Conv2d {
     /// Propagates quantization errors.
     pub fn to_precision(&self, precision: Precision) -> Result<Conv2d, SnnError> {
         let mut out = self.clone();
+        out.invalidate_cache();
         out.weight = fake_quantize(&self.weight, precision)?;
         out.bias = fake_quantize(&self.bias, precision)?;
         Ok(out)
@@ -625,6 +691,73 @@ mod tests {
         assert_ne!(q.weight(), conv.weight());
         let same = conv.to_precision(Precision::Fp32).unwrap();
         assert_eq!(same.weight(), conv.weight());
+    }
+
+    #[test]
+    fn transposed_weight_cache_invalidates_on_every_mutation_path() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut conv = Conv2d::with_kaiming_init(2, 4, 3, 1, 1, &mut rng).unwrap();
+        let input = Tensor::from_fn(&[2, 6, 6], |i| f32::from(i % 7 == 0));
+        let plane = SpikePlane::from_tensor(&input);
+
+        // Warm the cache, then mutate through weight_mut: the event path must
+        // see the new coefficients (compared against the dense path, which
+        // always reads the weight tensor directly).
+        let before = conv.forward_spikes(&plane).unwrap();
+        conv.weight_mut().as_mut_slice()[0] += 1.0;
+        let after = conv.forward_spikes(&plane).unwrap();
+        assert_ne!(before.as_slice(), after.as_slice());
+        assert_eq!(
+            after.as_slice(),
+            conv.forward(&input).unwrap().as_slice(),
+            "stale transposed-weight cache after weight_mut"
+        );
+
+        // set_weight invalidates too.
+        conv.forward_spikes(&plane).unwrap(); // re-warm
+        conv.set_weight(Tensor::from_fn(&[4, 2, 3, 3], |i| (i as f32) * 0.01))
+            .unwrap();
+        assert_eq!(
+            conv.forward_spikes(&plane).unwrap().as_slice(),
+            conv.forward(&input).unwrap().as_slice(),
+            "stale transposed-weight cache after set_weight"
+        );
+
+        // to_precision returns a copy whose cache reflects the quantized
+        // weights, and leaves the original's cache intact and correct.
+        conv.forward_spikes(&plane).unwrap(); // re-warm
+        let q = conv.to_precision(Precision::Int4).unwrap();
+        assert_eq!(
+            q.forward_spikes(&plane).unwrap().as_slice(),
+            q.forward(&input).unwrap().as_slice(),
+            "stale transposed-weight cache on quantized copy"
+        );
+        assert_eq!(
+            conv.forward_spikes(&plane).unwrap().as_slice(),
+            conv.forward(&input).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn equality_and_serialization_ignore_the_weight_cache() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let conv = Conv2d::with_kaiming_init(1, 3, 3, 1, 1, &mut rng).unwrap();
+        let warmed = conv.clone();
+        let input = Tensor::from_fn(&[1, 5, 5], |i| f32::from(i % 3 == 0));
+        warmed
+            .forward_spikes(&SpikePlane::from_tensor(&input))
+            .unwrap();
+        // A warmed cache does not break equality.
+        assert_eq!(conv, warmed);
+        // Serialization round-trips the semantic fields only; the restored
+        // layer starts cold but computes identically.
+        let json = serde_json::to_string(&warmed).unwrap();
+        let restored: Conv2d = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, warmed);
+        assert_eq!(
+            restored.forward(&input).unwrap().as_slice(),
+            warmed.forward(&input).unwrap().as_slice()
+        );
     }
 
     #[test]

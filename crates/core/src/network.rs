@@ -187,7 +187,7 @@ pub struct RunOutput {
 /// history) and every scratch buffer of the event-driven inference loop: the
 /// encoder's frame planes, the ping-pong [`SpikePlane`] pair activations flow
 /// through, the membrane-current tensor, and the conv layers' shared
-/// im2col/gather scratch. A `RunState` is created once per session/thread
+/// im2col/matmul-panel/gather scratch. A `RunState` is created once per session/thread
 /// via [`RunState::new`] and reused across runs by
 /// [`SnnNetwork::run_with_state`], which resets it between images instead of
 /// reallocating — after the first image of a batch the steady-state loop

@@ -611,18 +611,21 @@ pub struct Im2Col {
 /// Multiplies an `[m, k]` row-major matrix by a `[k, n]` row-major matrix.
 ///
 /// This is the single matmul primitive shared by the convolution and linear
-/// layers (forward and backward). It is deliberately a straightforward
-/// triple loop with the inner loop over `n` so the compiler can vectorise it.
+/// layers (forward and backward). It dispatches to the cache-blocked
+/// [`matmul_to`] kernel.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut out = vec![0.0_f32; m * n];
     matmul_to(a, b, m, k, n, &mut out);
     out
 }
 
-/// Like [`matmul`] but writes into a caller-provided output slice of length
-/// `m * n` (overwriting its contents), so hot paths can reuse one buffer
-/// across calls. Produces bit-identical results to [`matmul`].
-pub fn matmul_to(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+/// Reference matmul kernel: a per-row triple loop over four `b`-rows at a
+/// time, with no cache blocking. This is the kernel every accumulation-order
+/// guarantee in the workspace is stated against — [`matmul_to`] (the blocked
+/// production kernel) must stay **bitwise identical** to it, which the
+/// `blocked_matmul_bitwise_equals_naive` proptest enforces. Retained for that
+/// test and for the `matmul_blocked_vs_naive` bench arm.
+pub fn matmul_naive_to(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     assert_eq!(a.len(), m * k, "lhs matrix has wrong length");
     assert_eq!(b.len(), k * n, "rhs matrix has wrong length");
     assert_eq!(out.len(), m * n, "out matrix has wrong length");
@@ -668,6 +671,151 @@ pub fn matmul_to(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [
     }
 }
 
+/// Number of `a` rows one micro-kernel pass accumulates: each loaded `b`
+/// panel row is reused across this many output rows before it leaves
+/// registers/L1.
+const MM_ROW_TILE: usize = 4;
+/// Column width of a packed `b` panel (`NC`): output-row segments of this
+/// width plus four panel rows stay L1-resident through a micro-kernel pass.
+const MM_PANEL_COLS: usize = 128;
+/// Depth of one `k` block (`KC`); a panel of `KC × NC` f32 is 128 KiB and
+/// stays L2-resident across all row tiles. Must be a multiple of 4 so the
+/// four-row quads of every block align with the reference kernel's quads
+/// (same grouping ⇒ same zero-skip decisions ⇒ bitwise-equal sums even for
+/// non-finite inputs).
+const MM_BLOCK_K: usize = 256;
+/// Tiling/packing cut-in: while `b` holds at most this many elements
+/// (512 KiB of f32 — comfortably L2-resident) the kernel runs directly over
+/// `b` as one whole-width panel; packing would only add a copy of data the
+/// cache already serves. Every inference-scale shape in this workspace stays
+/// below the threshold, so the hot run loop never packs.
+const MM_PACK_THRESHOLD: usize = 128 * 1024;
+
+/// Like [`matmul`] but writes into a caller-provided output slice of length
+/// `m * n` (overwriting its contents), so hot paths can reuse one buffer
+/// across calls.
+///
+/// The kernel is cache-blocked: `b` is processed in `KC × NC` column panels
+/// packed into a contiguous scratch buffer (skipped when `n ≤ NC`, where
+/// `b`'s rows already are the panel) and each panel is reused across
+/// [`MM_ROW_TILE`] output rows per pass. Per output cell the contributions
+/// still accumulate one scalar `t += a[i][p] * b[p][o]` at a time in
+/// ascending `p` order — exactly the order of [`matmul_naive_to`] — so the
+/// result is **bitwise identical** to the naive reference kernel.
+pub fn matmul_to(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let mut panel = Vec::new();
+    matmul_to_with(a, b, m, k, n, out, &mut panel);
+}
+
+/// The allocation-controlled entry point behind [`matmul_to`]: `panel` is the
+/// scratch buffer `b` panels are packed into, reused across calls by the hot
+/// paths (it is only touched when `n > MM_PANEL_COLS`; the inference-scale
+/// shapes never pack). Bit-identical to [`matmul_naive_to`].
+pub fn matmul_to_with(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    panel: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), m * k, "lhs matrix has wrong length");
+    assert_eq!(b.len(), k * n, "rhs matrix has wrong length");
+    assert_eq!(out.len(), m * n, "out matrix has wrong length");
+    out.fill(0.0);
+    if b.len() <= MM_PACK_THRESHOLD {
+        // Cache-resident b: run the row-tiled micro-kernel over the whole
+        // matrix as one panel (pc = 0, kb = k keeps the quad grouping — and
+        // therefore the accumulation order — aligned with the reference).
+        for i0 in (0..m).step_by(MM_ROW_TILE) {
+            let mr = MM_ROW_TILE.min(m - i0);
+            micro_kernel(a, k, 0, k, i0, mr, b, n, out, n, 0);
+        }
+        return;
+    }
+    for pc in (0..k).step_by(MM_BLOCK_K) {
+        let kb = MM_BLOCK_K.min(k - pc);
+        for jc in (0..n).step_by(MM_PANEL_COLS) {
+            let nb = MM_PANEL_COLS.min(n - jc);
+            let packed: &[f32] = if nb == n {
+                // Whole-width panel: b's rows are already contiguous.
+                &b[pc * n..(pc + kb) * n]
+            } else {
+                panel.clear();
+                panel.reserve(kb * nb);
+                for p in pc..pc + kb {
+                    panel.extend_from_slice(&b[p * n + jc..p * n + jc + nb]);
+                }
+                panel
+            };
+            for i0 in (0..m).step_by(MM_ROW_TILE) {
+                let mr = MM_ROW_TILE.min(m - i0);
+                micro_kernel(a, k, pc, kb, i0, mr, packed, nb, out, n, jc);
+            }
+        }
+    }
+}
+
+/// Accumulates `mr` output rows against one packed `kb × nb` panel of `b`.
+/// Quads of four panel rows are walked in ascending order with the same
+/// per-row all-four-zero skip as the reference kernel; each loaded quad is
+/// applied to every row of the tile before the next quad is touched.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel(
+    a: &[f32],
+    k: usize,
+    pc: usize,
+    kb: usize,
+    i0: usize,
+    mr: usize,
+    panel: &[f32],
+    nb: usize,
+    out: &mut [f32],
+    n: usize,
+    jc: usize,
+) {
+    let mut p = 0;
+    while p + 4 <= kb {
+        let b0 = &panel[p * nb..(p + 1) * nb];
+        let b1 = &panel[(p + 1) * nb..(p + 2) * nb];
+        let b2 = &panel[(p + 2) * nb..(p + 3) * nb];
+        let b3 = &panel[(p + 3) * nb..(p + 4) * nb];
+        for r in 0..mr {
+            let a_row = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kb];
+            let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                continue;
+            }
+            let base = (i0 + r) * n + jc;
+            let out_row = &mut out[base..base + nb];
+            for o in 0..nb {
+                let mut t = out_row[o];
+                t += a0 * b0[o];
+                t += a1 * b1[o];
+                t += a2 * b2[o];
+                t += a3 * b3[o];
+                out_row[o] = t;
+            }
+        }
+        p += 4;
+    }
+    while p < kb {
+        let b_row = &panel[p * nb..(p + 1) * nb];
+        for r in 0..mr {
+            let a_rp = a[(i0 + r) * k + pc + p];
+            if a_rp == 0.0 {
+                continue;
+            }
+            let base = (i0 + r) * n + jc;
+            for (t, &b_po) in out[base..base + nb].iter_mut().zip(b_row.iter()) {
+                *t += a_rp * b_po;
+            }
+        }
+        p += 1;
+    }
+}
+
 /// Multiplies the transpose of an `[k, m]` row-major matrix by a `[k, n]`
 /// row-major matrix, producing `[m, n]`. Used in backward passes to avoid
 /// materialising explicit transposes.
@@ -692,28 +840,38 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f3
 }
 
 /// Multiplies an `[m, k]` row-major matrix by the transpose of an `[n, k]`
-/// row-major matrix, producing `[m, n]`.
+/// row-major matrix, producing `[m, n]`. This is the weight-gradient matmul
+/// of the convolution backward pass (`grad_w = grad_out · colsᵀ`), a per-step
+/// hot spot of BPTT training.
+///
+/// `b` is transposed once into a `[k, n]` layout and the product delegated to
+/// the blocked [`matmul_to`] kernel, so the inner loops run contiguously in
+/// the output direction and vectorise — the naive formulation is a sequential
+/// scalar dot product per output cell, which strict (non-reassociating) f32
+/// semantics cannot vectorise. Per output cell the contributions still
+/// accumulate one scalar at a time in ascending-`p` order; as long as every
+/// input is finite (true for the training path, whose inputs are
+/// finiteness-validated by the LIF layers), the result is bitwise identical
+/// to the dot-product formulation — enforced by the
+/// `matmul_a_bt_bitwise_equals_dot_product_reference` proptest. The two can
+/// diverge only on non-finite data, where the blocked kernel's zero-skip
+/// drops `0.0 × ∞`/`0.0 × NaN` terms the dot product would keep.
 pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "lhs matrix has wrong length");
     assert_eq!(b.len(), n * k, "rhs matrix has wrong length");
-    let mut out = vec![0.0_f32; m * n];
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for o in 0..n {
-            let b_row = &b[o * k..(o + 1) * k];
-            let mut acc = 0.0_f32;
-            for p in 0..k {
-                acc += a_row[p] * b_row[p];
-            }
-            out[i * n + o] = acc;
+    let mut bt = vec![0.0_f32; k * n];
+    for (o, b_row) in b.chunks_exact(k).enumerate() {
+        for (p, &v) in b_row.iter().enumerate() {
+            bt[p * n + o] = v;
         }
     }
-    out
+    matmul(a, &bt, m, k, n)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn zeros_and_ones_have_expected_contents() {
@@ -790,6 +948,125 @@ mod tests {
         // A second call fully overwrites stale contents.
         matmul_to(&b, &a, 2, 2, 2, &mut out);
         assert_eq!(out, matmul(&b, &a, 2, 2, 2));
+    }
+
+    /// Deterministic pseudo-random matrix whose entries include exact zeros,
+    /// so the kernels' zero-skip paths are exercised.
+    fn test_matrix(rows: usize, cols: usize, seed: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| {
+                let h = (i + seed).wrapping_mul(2_654_435_761) % 1000;
+                if h < 250 {
+                    0.0
+                } else {
+                    (h as f32 - 500.0) * 1e-3
+                }
+            })
+            .collect()
+    }
+
+    fn assert_bitwise_eq(blocked: &[f32], naive: &[f32], ctx: &str) {
+        assert_eq!(blocked.len(), naive.len(), "{ctx}: length");
+        for (i, (x, y)) in blocked.iter().zip(naive.iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{ctx}: cell {i} diverges: blocked {x} vs naive {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_crosses_panel_and_k_block_boundaries() {
+        // Shapes straddling MM_PANEL_COLS (128), MM_BLOCK_K (256) and the
+        // 4-row tile, including exact multiples and off-by-one sizes.
+        for &(m, k, n) in &[
+            (5, 517, 260),
+            (4, 256, 128),
+            (3, 257, 129),
+            (9, 255, 127),
+            (1, 300, 131),
+            (6, 260, 256),
+        ] {
+            let a = test_matrix(m, k, 1);
+            let b = test_matrix(k, n, 2);
+            let mut blocked = vec![f32::NAN; m * n];
+            let mut naive = vec![f32::NAN; m * n];
+            let mut panel = Vec::new();
+            matmul_to_with(&a, &b, m, k, n, &mut blocked, &mut panel);
+            matmul_naive_to(&a, &b, m, k, n, &mut naive);
+            assert_bitwise_eq(&blocked, &naive, &format!("{m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_reuses_panel_scratch_across_shapes() {
+        let mut panel = Vec::new();
+        for &(m, k, n) in &[(7, 40, 300), (2, 600, 140), (3, 3, 3)] {
+            let a = test_matrix(m, k, 3);
+            let b = test_matrix(k, n, 4);
+            let mut blocked = vec![0.0; m * n];
+            let mut naive = vec![0.0; m * n];
+            matmul_to_with(&a, &b, m, k, n, &mut blocked, &mut panel);
+            matmul_naive_to(&a, &b, m, k, n, &mut naive);
+            assert_bitwise_eq(&blocked, &naive, &format!("reused panel {m}x{k}x{n}"));
+        }
+    }
+
+    proptest! {
+        /// The repacked [`matmul_a_bt`] is bitwise-equal to the dot-product
+        /// formulation it replaced (inlined here as the reference) on finite
+        /// inputs with exact zeros — the doc's guarantee, kept enforceable.
+        #[test]
+        fn matmul_a_bt_bitwise_equals_dot_product_reference(
+            m in 1_usize..24,
+            k in 1_usize..40,
+            n in 1_usize..24,
+            seed in 0_usize..1000,
+        ) {
+            let a = test_matrix(m, k, seed);
+            let b = test_matrix(n, k, seed + 29);
+            let repacked = matmul_a_bt(&a, &b, m, k, n);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                for o in 0..n {
+                    let b_row = &b[o * k..(o + 1) * k];
+                    let mut acc = 0.0_f32;
+                    for p in 0..k {
+                        acc += a_row[p] * b_row[p];
+                    }
+                    prop_assert_eq!(repacked[i * n + o].to_bits(), acc.to_bits());
+                }
+            }
+        }
+
+        /// The cache-blocked production kernel is bitwise-equal to the naive
+        /// reference kernel across ragged shapes (including the 4-wide quad
+        /// tail in every residue class) and inputs with exact zeros.
+        #[test]
+        fn blocked_matmul_bitwise_equals_naive(
+            m in 1_usize..40,
+            k in 1_usize..40,
+            n in 1_usize..40,
+            seed in 0_usize..1000,
+            zeros in proptest::collection::vec(any::<bool>(), 64),
+        ) {
+            let mut a = test_matrix(m, k, seed);
+            // Plant extra zero runs so whole quads get skipped.
+            for (i, v) in a.iter_mut().enumerate() {
+                if zeros[i % zeros.len()] {
+                    *v = 0.0;
+                }
+            }
+            let b = test_matrix(k, n, seed + 17);
+            let mut blocked = vec![f32::NAN; m * n];
+            let mut naive = vec![f32::NAN; m * n];
+            matmul_to(&a, &b, m, k, n, &mut blocked);
+            matmul_naive_to(&a, &b, m, k, n, &mut naive);
+            for (x, y) in blocked.iter().zip(naive.iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

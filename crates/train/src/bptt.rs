@@ -1,11 +1,15 @@
 //! Surrogate-gradient backpropagation through time over a whole network.
 //!
 //! The forward pass unrolls the network over the encoder's timesteps exactly
-//! like [`snn_core::network::SnnNetwork::run`], but additionally caches, for
-//! every weight layer and timestep, the layer input, the membrane potential
-//! at thresholding time and the emitted spikes. The backward pass then walks
-//! the layers in reverse, and within each LIF layer walks time in reverse
-//! using the standard detached-reset BPTT recursion:
+//! like [`snn_core::network::SnnNetwork::run`] — event-driven: activations
+//! travel as [`SpikePlane`] frames, the conv/linear layers dispatch between
+//! the spike-gather and the blocked dense im2col paths, and the direct-coded
+//! input layer's currents are computed once per image and replayed across
+//! timesteps. It additionally caches, for every weight layer and timestep,
+//! the layer input, the membrane potential at thresholding time and the
+//! emitted spikes. The backward pass then walks the layers in reverse, and
+//! within each LIF layer walks time in reverse using the standard
+//! detached-reset BPTT recursion:
 //!
 //! ```text
 //! ∂L/∂u[t] = ∂L/∂s[t] · σ'(u[t]) + β · ∂L/∂u[t+1]
@@ -15,19 +19,28 @@
 //! gradients are accumulated over timesteps; the gradient with respect to the
 //! layer input becomes the spike gradient of the preceding layer.
 //!
+//! Losses, logits and gradients of the event-driven sweep are **bitwise
+//! identical** to the dense sweep, which is retained as
+//! [`Bptt::sample_gradients_dense`] and enforced by the
+//! `event_driven_sweep_bitwise_equals_dense_reference` test.
+//!
 //! Quantization-aware training: when a non-`Fp32` precision is configured,
 //! the forward (and the input-gradient part of the backward) use
 //! fake-quantized copies of the weights while the gradients are applied to
-//! the full-precision master weights — the straight-through estimator.
+//! the full-precision master weights — the straight-through estimator. The
+//! quantized copies can be built once per batch via [`Bptt::prepare`] and
+//! shared across samples/workers instead of being re-cloned per sample.
 
 use crate::grad::{conv2d_backward, linear_backward, pool_backward};
 use crate::loss::cross_entropy;
 use crate::surrogate::SurrogateKind;
-use snn_core::encoding::Encoder;
+use snn_core::encoding::{CodingScheme, Encoder};
 use snn_core::error::SnnError;
+use snn_core::layers::ConvScratch;
 use snn_core::network::{Layer, SnnNetwork};
 use snn_core::neuron::LifPopulation;
 use snn_core::quant::Precision;
+use snn_core::spike::SpikePlane;
 use snn_core::tensor::Tensor;
 
 /// Per-layer weight/bias gradients for a whole network, index-aligned with
@@ -155,6 +168,31 @@ struct LayerCache {
     outputs: Vec<Tensor>,
 }
 
+/// Everything the backward pass needs from one forward sweep.
+struct ForwardPass {
+    caches: Vec<LayerCache>,
+    class_scores: Vec<f32>,
+    total_spikes: u64,
+    timesteps: usize,
+}
+
+/// Fake-quantized working copies of a network's weight layers — the layers
+/// the QAT forward actually executes. Built once per batch by
+/// [`Bptt::prepare`] and shared (immutably) across every sample and worker
+/// thread of that batch, instead of re-cloning all weights per sample. For
+/// [`Precision::Fp32`] the copies equal the master weights.
+#[derive(Debug, Clone)]
+pub struct EffectiveLayers {
+    layers: Vec<Layer>,
+}
+
+impl EffectiveLayers {
+    /// The layer sequence the forward sweep executes.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+}
+
 /// Surrogate-gradient BPTT engine.
 #[derive(Debug, Clone, Copy)]
 pub struct Bptt {
@@ -173,30 +211,17 @@ impl Bptt {
         }
     }
 
-    /// Runs a forward and backward pass for one labelled sample, returning the
-    /// loss and the parameter gradients (computed with the straight-through
-    /// estimator when QAT is enabled).
+    /// Builds the fake-quantized working copies of `network`'s weight layers
+    /// the forward sweep executes. Hot training loops call this once per
+    /// batch (weights only change at optimizer steps, between batches) and
+    /// pass the result to [`Bptt::sample_gradients_prepared`] for every
+    /// sample, sharing one set of quantized weights across worker threads.
     ///
     /// # Errors
     ///
-    /// Propagates shape/configuration errors from the layers and encoder.
-    pub fn sample_gradients(
-        &self,
-        network: &SnnNetwork,
-        image: &Tensor,
-        label: usize,
-        encoder: &Encoder,
-        seed: u64,
-    ) -> Result<SampleResult, SnnError> {
-        if label >= network.num_classes() {
-            return Err(SnnError::index(label, network.num_classes(), "class label"));
-        }
-        let lif = network.lif_params();
-        let frames = encoder.encode(image, seed)?;
-        let timesteps = frames.len();
-
-        // Fake-quantized working copies of the weight layers (QAT forward).
-        let effective: Vec<Layer> = network
+    /// Propagates quantization failures.
+    pub fn prepare(&self, network: &SnnNetwork) -> Result<EffectiveLayers, SnnError> {
+        let layers = network
             .layers()
             .iter()
             .map(|layer| match layer {
@@ -215,9 +240,100 @@ impl Bptt {
                 }),
             })
             .collect::<Result<_, SnnError>>()?;
+        Ok(EffectiveLayers { layers })
+    }
 
-        // ---------- Forward with cache ----------
-        let mut caches: Vec<LayerCache> = effective
+    /// Runs a forward and backward pass for one labelled sample, returning the
+    /// loss and the parameter gradients (computed with the straight-through
+    /// estimator when QAT is enabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/configuration errors from the layers and encoder.
+    pub fn sample_gradients(
+        &self,
+        network: &SnnNetwork,
+        image: &Tensor,
+        label: usize,
+        encoder: &Encoder,
+        seed: u64,
+    ) -> Result<SampleResult, SnnError> {
+        let effective = self.prepare(network)?;
+        self.sample_gradients_prepared(network, &effective, image, label, encoder, seed)
+    }
+
+    /// Like [`Bptt::sample_gradients`] but with the quantized working layers
+    /// supplied by an earlier [`Bptt::prepare`] call, so batches amortize the
+    /// per-sample weight cloning. The forward sweep is event-driven (spike
+    /// planes + gather forwards + blocked dense fallback + direct-coding
+    /// input replay) and bitwise-equal to [`Bptt::sample_gradients_dense`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Bptt::sample_gradients`].
+    pub fn sample_gradients_prepared(
+        &self,
+        network: &SnnNetwork,
+        effective: &EffectiveLayers,
+        image: &Tensor,
+        label: usize,
+        encoder: &Encoder,
+        seed: u64,
+    ) -> Result<SampleResult, SnnError> {
+        if label >= network.num_classes() {
+            return Err(SnnError::index(label, network.num_classes(), "class label"));
+        }
+        let forward = self.forward_event(network, effective, image, encoder, seed)?;
+        self.backward(network, effective, forward, label)
+    }
+
+    /// The retained dense reference sweep: unrolls the network with dense
+    /// per-layer `forward`/`step_tensor` calls exactly as the trainer did
+    /// before the event-driven port. Kept (rather than deleted) because every
+    /// bitwise guarantee of the event path is stated against it — the
+    /// equivalence test and the `train_epoch` bench arm drive it directly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Bptt::sample_gradients`].
+    pub fn sample_gradients_dense(
+        &self,
+        network: &SnnNetwork,
+        image: &Tensor,
+        label: usize,
+        encoder: &Encoder,
+        seed: u64,
+    ) -> Result<SampleResult, SnnError> {
+        if label >= network.num_classes() {
+            return Err(SnnError::index(label, network.num_classes(), "class label"));
+        }
+        let effective = self.prepare(network)?;
+        let forward = self.forward_dense(network, &effective, image, encoder, seed)?;
+        self.backward(network, &effective, forward, label)
+    }
+
+    /// Event-driven forward sweep with BPTT caching: activations flow through
+    /// ping-pong [`SpikePlane`]s, conv/linear layers dispatch between the
+    /// spike-gather path and the blocked dense im2col fallback
+    /// (`forward_plane_into`), LIF populations emit spike planes directly
+    /// (`step_plane`), and under direct coding the stateless input layer's
+    /// currents are computed once and replayed across timesteps. Produces
+    /// caches bitwise-identical to [`Bptt::forward_dense`].
+    fn forward_event(
+        &self,
+        network: &SnnNetwork,
+        effective: &EffectiveLayers,
+        image: &Tensor,
+        encoder: &Encoder,
+        seed: u64,
+    ) -> Result<ForwardPass, SnnError> {
+        let lif = network.lif_params();
+        let layers = effective.layers();
+        let mut frames: Vec<SpikePlane> = Vec::new();
+        encoder.encode_planes_into(image, seed, &mut frames)?;
+        let timesteps = frames.len();
+
+        let mut caches: Vec<LayerCache> = layers
             .iter()
             .map(|_| LayerCache {
                 inputs: Vec::with_capacity(timesteps),
@@ -225,14 +341,132 @@ impl Bptt {
                 outputs: Vec::with_capacity(timesteps),
             })
             .collect();
-        let mut lif_states: Vec<Option<LifPopulation>> = vec![None; effective.len()];
+        let mut lif_states: Vec<Option<LifPopulation>> = vec![None; layers.len()];
+        let mut class_scores = vec![0.0_f32; network.num_classes()];
+        let group = network.population() / network.num_classes();
+        let mut total_spikes = 0u64;
+
+        // Scratch shared by every layer of the sweep: im2col + matmul panel
+        // + event-gather buffers, the membrane-current tensor, and the
+        // ping-pong planes. Allocated once per sample, reused across all
+        // timesteps and layers.
+        let mut scratch = ConvScratch::new();
+        let mut current = Tensor::zeros(&[0]);
+        let mut first_current = Tensor::zeros(&[0]);
+        // Direct coding presents the identical analog frame at every
+        // timestep, so the stateless first weight layer produces the same
+        // currents each step: compute once, replay afterwards.
+        let replay_first = encoder.scheme == CodingScheme::Direct && timesteps > 1;
+        let mut plane_a = SpikePlane::new();
+        let mut plane_b = SpikePlane::new();
+        let mut src: &mut SpikePlane = &mut plane_a;
+        let mut dst: &mut SpikePlane = &mut plane_b;
+
+        for (t, frame) in frames.iter().enumerate() {
+            for (li, layer) in layers.iter().enumerate() {
+                let input: &SpikePlane = if li == 0 { frame } else { src };
+                caches[li].inputs.push(input.dense().clone());
+                match layer {
+                    Layer::Conv { conv, bn, .. } => {
+                        let cur: &Tensor = if li == 0 && replay_first {
+                            if t == 0 {
+                                conv.forward_plane_into(input, &mut scratch, &mut first_current)?;
+                                if let Some(b) = bn {
+                                    b.forward_inplace(&mut first_current)?;
+                                }
+                            }
+                            &first_current
+                        } else {
+                            conv.forward_plane_into(input, &mut scratch, &mut current)?;
+                            if let Some(b) = bn {
+                                b.forward_inplace(&mut current)?;
+                            }
+                            &current
+                        };
+                        let state = lif_states[li]
+                            .get_or_insert_with(|| LifPopulation::new(cur.len(), lif));
+                        let spikes = state.step_plane(cur, dst)?;
+                        caches[li]
+                            .membranes
+                            .push(Tensor::from_vec(state.membrane().to_vec(), cur.shape())?);
+                        total_spikes += spikes as u64;
+                        caches[li].outputs.push(dst.dense().clone());
+                    }
+                    Layer::Pool { pool, .. } => {
+                        pool.forward_plane(input, dst)?;
+                        caches[li].outputs.push(dst.dense().clone());
+                    }
+                    Layer::Linear { linear, .. } => {
+                        let cur: &Tensor = if li == 0 && replay_first {
+                            if t == 0 {
+                                linear.forward_plane_into(input, &mut first_current)?;
+                            }
+                            &first_current
+                        } else {
+                            linear.forward_plane_into(input, &mut current)?;
+                            &current
+                        };
+                        let state = lif_states[li]
+                            .get_or_insert_with(|| LifPopulation::new(cur.len(), lif));
+                        let spikes = state.step_plane(cur, dst)?;
+                        caches[li]
+                            .membranes
+                            .push(Tensor::from_vec(state.membrane().to_vec(), cur.shape())?);
+                        total_spikes += spikes as u64;
+                        caches[li].outputs.push(dst.dense().clone());
+                    }
+                }
+                std::mem::swap(&mut src, &mut dst);
+            }
+            // Population readout: after the final swap, `src` holds the
+            // output layer's spikes.
+            let out = src.dense().as_slice();
+            for (class, score) in class_scores.iter_mut().enumerate() {
+                let start = class * group;
+                *score += out[start..(start + group).min(out.len())]
+                    .iter()
+                    .sum::<f32>();
+            }
+        }
+
+        Ok(ForwardPass {
+            caches,
+            class_scores,
+            total_spikes,
+            timesteps,
+        })
+    }
+
+    /// Dense reference forward sweep (see [`Bptt::sample_gradients_dense`]).
+    fn forward_dense(
+        &self,
+        network: &SnnNetwork,
+        effective: &EffectiveLayers,
+        image: &Tensor,
+        encoder: &Encoder,
+        seed: u64,
+    ) -> Result<ForwardPass, SnnError> {
+        let lif = network.lif_params();
+        let layers = effective.layers();
+        let frames = encoder.encode(image, seed)?;
+        let timesteps = frames.len();
+
+        let mut caches: Vec<LayerCache> = layers
+            .iter()
+            .map(|_| LayerCache {
+                inputs: Vec::with_capacity(timesteps),
+                membranes: Vec::with_capacity(timesteps),
+                outputs: Vec::with_capacity(timesteps),
+            })
+            .collect();
+        let mut lif_states: Vec<Option<LifPopulation>> = vec![None; layers.len()];
         let mut class_scores = vec![0.0_f32; network.num_classes()];
         let group = network.population() / network.num_classes();
         let mut total_spikes = 0u64;
 
         for frame in &frames {
             let mut x = frame.clone();
-            for (li, layer) in effective.iter().enumerate() {
+            for (li, layer) in layers.iter().enumerate() {
                 caches[li].inputs.push(x.clone());
                 match layer {
                     Layer::Conv { conv, bn, .. } => {
@@ -280,6 +514,31 @@ impl Bptt {
             }
         }
 
+        Ok(ForwardPass {
+            caches,
+            class_scores,
+            total_spikes,
+            timesteps,
+        })
+    }
+
+    /// Loss + reverse sweep shared by the event-driven and dense forwards.
+    fn backward(
+        &self,
+        network: &SnnNetwork,
+        effective: &EffectiveLayers,
+        forward: ForwardPass,
+        label: usize,
+    ) -> Result<SampleResult, SnnError> {
+        let lif = network.lif_params();
+        let ForwardPass {
+            caches,
+            class_scores,
+            total_spikes,
+            timesteps,
+        } = forward;
+        let effective = effective.layers();
+
         // ---------- Loss ----------
         let (loss, grad_logits) = cross_entropy(&class_scores, label)?;
         let prediction = class_scores
@@ -292,6 +551,7 @@ impl Bptt {
         // Seed gradient: every output-population neuron receives the gradient
         // of its class group at every timestep (the readout is a plain sum).
         let population = network.population();
+        let group = population / network.num_classes();
         let mut seed_grad = vec![0.0_f32; population];
         for (neuron, g) in seed_grad.iter_mut().enumerate() {
             *g = grad_logits[neuron / group];
@@ -434,6 +694,77 @@ mod tests {
         let norm = result.gradients.global_norm();
         assert!(norm.is_finite());
         assert!(norm > 0.0, "gradient norm should be non-zero, got {norm}");
+    }
+
+    /// The tentpole guarantee of the event-driven training sweep: losses,
+    /// logits, spike counts and every weight/bias gradient are bitwise-equal
+    /// to the retained dense reference sweep — at full precision and under
+    /// QAT, for direct (analog input + replay) and rate (stochastic binary
+    /// input) coding.
+    #[test]
+    fn event_driven_sweep_bitwise_equals_dense_reference() {
+        let net = small_net();
+        let image = sample_image();
+        let combos = [
+            (Precision::Fp32, Encoder::direct(3), 2usize, 0u64),
+            (Precision::Fp32, Encoder::rate(3), 5, 11),
+            (Precision::Int4, Encoder::direct(2), 7, 3),
+            (Precision::Int4, Encoder::rate(3), 0, 42),
+        ];
+        for (precision, encoder, label, seed) in combos {
+            let bptt = Bptt::new(SurrogateKind::paper_default(), precision);
+            let event = bptt
+                .sample_gradients(&net, &image, label, &encoder, seed)
+                .unwrap();
+            let dense = bptt
+                .sample_gradients_dense(&net, &image, label, &encoder, seed)
+                .unwrap();
+            let ctx = format!("{precision:?}/{encoder:?}");
+            assert_eq!(event.loss.to_bits(), dense.loss.to_bits(), "loss {ctx}");
+            assert_eq!(event.correct, dense.correct, "correct {ctx}");
+            assert_eq!(event.total_spikes, dense.total_spikes, "spikes {ctx}");
+            for (e, d) in event.logits.iter().zip(dense.logits.iter()) {
+                assert_eq!(e.to_bits(), d.to_bits(), "logits {ctx}");
+            }
+            for (li, (eg, dg)) in event
+                .gradients
+                .per_layer()
+                .iter()
+                .zip(dense.gradients.per_layer().iter())
+                .enumerate()
+            {
+                match (eg, dg) {
+                    (None, None) => {}
+                    (Some(eg), Some(dg)) => {
+                        for (x, y) in eg.weight.as_slice().iter().zip(dg.weight.as_slice().iter()) {
+                            assert_eq!(x.to_bits(), y.to_bits(), "weight grad {ctx} layer {li}");
+                        }
+                        for (x, y) in eg.bias.as_slice().iter().zip(dg.bias.as_slice().iter()) {
+                            assert_eq!(x.to_bits(), y.to_bits(), "bias grad {ctx} layer {li}");
+                        }
+                    }
+                    _ => panic!("gradient structure mismatch at layer {li} ({ctx})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_layers_are_shared_across_samples_identically() {
+        // sample_gradients (per-call prepare) and sample_gradients_prepared
+        // (batch-shared prepare) must agree exactly.
+        let net = small_net();
+        let bptt = Bptt::new(SurrogateKind::paper_default(), Precision::Int4);
+        let effective = bptt.prepare(&net).unwrap();
+        let encoder = Encoder::direct(2);
+        let image = sample_image();
+        let a = bptt.sample_gradients(&net, &image, 3, &encoder, 1).unwrap();
+        let b = bptt
+            .sample_gradients_prepared(&net, &effective, &image, 3, &encoder, 1)
+            .unwrap();
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        assert_eq!(a.logits, b.logits);
+        assert_eq!(a.gradients, b.gradients);
     }
 
     #[test]

@@ -195,7 +195,11 @@ impl Trainer {
     }
 
     /// Computes per-sample gradients for one batch, in parallel when the
-    /// configuration allows more than one thread.
+    /// configuration allows more than one thread. The fake-quantized working
+    /// copies of the weight layers are built once per batch
+    /// ([`Bptt::prepare`]) and shared by every sample and worker thread —
+    /// weights only change at the optimizer step between batches, so the
+    /// per-sample re-quantization the old loop paid was pure overhead.
     fn batch_results(
         &self,
         network: &SnnNetwork,
@@ -205,13 +209,15 @@ impl Trainer {
         let bptt = self.bptt;
         let encoder = self.config.encoder;
         let base_seed = self.config.seed ^ (epoch << 32);
+        let effective = bptt.prepare(network)?;
         if self.config.threads <= 1 || batch.len() <= 1 {
             return batch
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    bptt.sample_gradients(
+                    bptt.sample_gradients_prepared(
                         network,
+                        &effective,
                         &s.image,
                         s.label,
                         &encoder,
@@ -226,9 +232,11 @@ impl Trainer {
                 .enumerate()
                 .map(|(i, s)| {
                     let net_ref = &*network;
+                    let eff_ref = &effective;
                     scope.spawn(move || {
-                        bptt.sample_gradients(
+                        bptt.sample_gradients_prepared(
                             net_ref,
+                            eff_ref,
                             &s.image,
                             s.label,
                             &encoder,

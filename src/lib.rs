@@ -496,11 +496,14 @@ impl Engine {
 /// Per-thread inference handle vended by [`Engine::session`].
 ///
 /// Owns the mutable run state — LIF membrane potentials, firing history,
-/// spike-plane ping-pong buffers and the conv im2col/gather scratch — which
-/// is reset (not reallocated) between runs, so batched inference pays no
-/// per-image allocation cost for them. When the engine's thread count is
-/// above one, [`Session::run_batch`] fans images out over scoped worker
-/// threads, each with its own lazily created (then cached) `RunState`.
+/// spike-plane ping-pong buffers and the conv im2col/matmul-panel/gather
+/// scratch — which is reset (not reallocated) between runs, so batched
+/// inference pays no per-image allocation cost for them. When the engine's
+/// thread count is above one, [`Session::run_batch`] fans images out over
+/// scoped worker threads, each with its own lazily created (then cached)
+/// `RunState`. Every run's hardware estimate reuses the engine's memoized
+/// [`EstimatePlan`] (area/power models plus the per-layer cycle models), so
+/// a batch only re-folds per-trace spike counts.
 #[derive(Debug)]
 pub struct Session {
     shared: Arc<EngineShared>,
