@@ -11,8 +11,13 @@
 //! * `matmul_blocked_vs_naive` — the cache-blocked `matmul_to` kernel vs the
 //!   retained `matmul_naive_to` reference on paper-scale dense-fallback
 //!   shapes (results are bitwise identical; only the speed differs).
+//! * `bptt_backward` — the backward pass alone, driven repeatedly against
+//!   one cached forward sweep: the persistent-scratch production path vs a
+//!   fresh scratch per call (gradients are bitwise identical; only the
+//!   allocation behaviour differs).
 //! * `train_epoch` — one BPTT sample (event-driven vs retained dense sweep)
-//!   and one full `Trainer::fit` epoch over 8 synthetic samples.
+//!   and one full `Trainer::fit` epoch over 8 synthetic samples at 1/2/4
+//!   worker threads (bitwise-identical results at every thread count).
 //!
 //! Run with: `cargo bench --bench batch_inference`
 //! Machine-readable output: `BENCH_JSON=out.json cargo bench ...` appends
@@ -20,7 +25,7 @@
 //! for the checked-in baseline history).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use snn::train::bptt::Bptt;
+use snn::train::bptt::{Bptt, BpttScratch};
 use snn::train::surrogate::SurrogateKind;
 use snn::train::trainer::{TrainConfig, Trainer};
 use snn::{Engine, Precision};
@@ -140,6 +145,40 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bptt_backward(c: &mut Criterion) {
+    let net = vgg9(&Vgg9Config::cifar10_small()).expect("vgg9 builds");
+    let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.017).sin().abs());
+    let encoder = Encoder::paper_direct();
+    let bptt = Bptt::new(
+        SurrogateKind::paper_default(),
+        snn_core::quant::Precision::Fp32,
+    );
+    let effective = bptt.prepare(&net).expect("prepare");
+    let sweep = bptt
+        .forward_sweep(&net, &effective, &image, &encoder, 0)
+        .expect("forward sweep");
+
+    let mut group = c.benchmark_group("bptt_backward");
+    // The production path: one persistent scratch reused across calls —
+    // after the first call the backward allocates nothing per timestep.
+    let mut scratch = BpttScratch::new();
+    group.bench_function("scratch", |b| {
+        b.iter(|| {
+            bptt.backward_sweep(&net, &effective, &sweep, 3, &mut scratch)
+                .expect("backward")
+        });
+    });
+    // A cold scratch per call isolates what the buffer reuse buys.
+    group.bench_function("fresh_scratch", |b| {
+        b.iter(|| {
+            let mut cold = BpttScratch::new();
+            bptt.backward_sweep(&net, &effective, &sweep, 3, &mut cold)
+                .expect("backward")
+        });
+    });
+    group.finish();
+}
+
 fn bench_train(c: &mut Criterion) {
     let net = vgg9(&Vgg9Config::cifar10_small()).expect("vgg9 builds");
     let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.017).sin().abs());
@@ -166,19 +205,23 @@ fn bench_train(c: &mut Criterion) {
                 .expect("dense sweep")
         });
     });
-    // A full epoch through the trainer: 8 samples, batch 4, single thread
-    // (the reference machine has one core).
-    let mut cfg = TrainConfig::quick();
-    cfg.max_train_samples = Some(8);
-    cfg.batch_size = 4;
-    cfg.threads = 1;
-    group.bench_function("fit_8samples", |b| {
-        b.iter(|| {
-            let mut trainer = Trainer::new(cfg.clone());
-            let mut train_net = net.clone();
-            trainer.fit(&mut train_net, &data).expect("fit")
+    // A full epoch through the trainer: 8 samples, batch 4, at 1/2/4 worker
+    // threads. The reference machine has one core, so the >1-thread arms
+    // measure pool overhead there and scaling on multi-core runners; results
+    // are bitwise identical at every thread count.
+    for &threads in &[1_usize, 2, 4] {
+        let mut cfg = TrainConfig::quick();
+        cfg.max_train_samples = Some(8);
+        cfg.batch_size = 4;
+        cfg.threads = threads;
+        group.bench_function(BenchmarkId::new("fit_8samples_threads", threads), |b| {
+            b.iter(|| {
+                let mut trainer = Trainer::new(cfg.clone());
+                let mut train_net = net.clone();
+                trainer.fit(&mut train_net, &data).expect("fit")
+            });
         });
-    });
+    }
     group.finish();
 }
 
@@ -187,6 +230,7 @@ criterion_group!(
     bench_batches,
     bench_sparse_conv,
     bench_matmul,
+    bench_bptt_backward,
     bench_train
 );
 criterion_main!(benches);

@@ -444,6 +444,27 @@ impl Conv2d {
         }
     }
 
+    /// Lowers one input frame into this layer's im2col column matrix,
+    /// dispatching by the same density-crossover logic the forward uses:
+    /// binary frames below [`Conv2d::sparse_crossover`] take the event-driven
+    /// gather scatter ([`SpikePlane::im2col_into`]), everything else the dense
+    /// scan ([`Tensor::im2col_into`]). Both paths fill the **identical**
+    /// matrix, so consumers (the BPTT weight-gradient matmul) are bit-exact
+    /// regardless of the dispatch decision.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tensor::im2col`].
+    pub fn lower_plane_into(&self, plane: &SpikePlane, cols: &mut Im2Col) -> Result<(), SnnError> {
+        if plane.is_binary() && plane.density() < self.sparse_crossover() {
+            plane.im2col_into((self.kernel, self.kernel), self.stride, self.padding, cols)
+        } else {
+            plane
+                .dense()
+                .im2col_into((self.kernel, self.kernel), self.stride, self.padding, cols)
+        }
+    }
+
     /// Input density below which the event-driven path
     /// ([`Conv2d::forward_spikes`]) beats the dense im2col + matmul lowering
     /// for this layer's geometry.
@@ -460,32 +481,39 @@ impl Conv2d {
         (0.8 - 4.0 / self.out_channels as f64).clamp(SPARSE_DENSITY_CROSSOVER, 0.75)
     }
 
-    /// The event-driven kernel behind [`Conv2d::forward_spikes`], with
-    /// caller-provided scratch and output buffer.
-    fn forward_spikes_with(
+    /// Enumerates the `(weight-row offset, output cell)` taps of every spike
+    /// in a binary plane — the event-level description of this layer's
+    /// receptive-field geometry — into `taps`, returning the output shape.
+    ///
+    /// Events are scanned in ascending index order and taps in ascending
+    /// `(ky, kx)` order, so for every fixed weight row the output cells
+    /// ascend, and for every fixed output cell the weight rows ascend — the
+    /// dense matmul's exact accumulation order in both directions. The
+    /// event-driven forward consumes the taps grouped by cell and the
+    /// event-aware BPTT weight gradient grouped by weight row; the shared
+    /// ordering is what keeps both bitwise equal to their dense
+    /// counterparts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] for an analog plane, plus the
+    /// usual shape errors.
+    pub fn gather_taps(
         &self,
         plane: &SpikePlane,
-        scratch: &mut ConvScratch,
-        out: &mut Tensor,
-    ) -> Result<(), SnnError> {
+        taps: &mut Vec<(u32, u32)>,
+    ) -> Result<[usize; 3], SnnError> {
         let out_shape = self.output_shape(plane.shape())?;
         if !plane.is_binary() {
             return Err(SnnError::config(
                 "input",
-                "Conv2d::forward_spikes requires a binary spike plane",
+                "Conv2d::gather_taps requires a binary spike plane",
             ));
         }
         let (h, w) = (plane.shape()[1], plane.shape()[2]);
         let (oh, ow) = (out_shape[1], out_shape[2]);
         let k = self.kernel;
         let kk = k * k;
-        let cell_count = oh * ow;
-        // Pass 1: turn each input event into its (weight-row offset, output
-        // cell) taps. Scanning events in ascending index order and taps in
-        // ascending (ky, kx) order makes the per-output-cell contribution
-        // sequence ascend in weight-row offset — the dense matmul's exact
-        // accumulation order, which keeps the f32 sums bitwise equal.
-        let taps = &mut scratch.taps;
         taps.clear();
         for &flat in plane.active() {
             let flat = flat as usize;
@@ -519,6 +547,23 @@ impl Conv2d {
                 }
             }
         }
+        Ok(out_shape)
+    }
+
+    /// The event-driven kernel behind [`Conv2d::forward_spikes`], with
+    /// caller-provided scratch and output buffer.
+    fn forward_spikes_with(
+        &self,
+        plane: &SpikePlane,
+        scratch: &mut ConvScratch,
+        out: &mut Tensor,
+    ) -> Result<(), SnnError> {
+        // Pass 1: enumerate the (weight-row, output-cell) taps of every
+        // spike.
+        let out_shape = self.gather_taps(plane, &mut scratch.taps)?;
+        let (oh, ow) = (out_shape[1], out_shape[2]);
+        let cell_count = oh * ow;
+        let taps = &scratch.taps;
         // Pass 2: accumulate in a transposed `[cell][out_channel]` layout so
         // each tap is ONE contiguous vector add of a transposed weight row
         // across all output channels, instead of `out_channels` scattered
@@ -758,6 +803,27 @@ mod tests {
             restored.forward(&input).unwrap().as_slice(),
             warmed.forward(&input).unwrap().as_slice()
         );
+    }
+
+    #[test]
+    fn lower_plane_into_dispatches_both_paths_to_the_same_matrix() {
+        let conv = Conv2d::new(2, 4, 3, 1, 1).unwrap();
+        // Sparse binary (gather path), dense binary (dense path) and analog
+        // (dense path) frames must all reproduce the dense lowering exactly.
+        for fill in [0.05_f64, 0.9] {
+            let input = Tensor::from_fn(&[2, 6, 6], |i| {
+                f32::from(((i * 2654435761) % 1000) as f64 / 1000.0 < fill)
+            });
+            let plane = SpikePlane::from_tensor(&input);
+            let mut cols = Im2Col::default();
+            conv.lower_plane_into(&plane, &mut cols).unwrap();
+            assert_eq!(cols, input.im2col((3, 3), 1, 1).unwrap());
+        }
+        let analog = Tensor::from_fn(&[2, 6, 6], |i| (i as f32) * 0.01);
+        let mut cols = Im2Col::default();
+        conv.lower_plane_into(&SpikePlane::from_tensor(&analog), &mut cols)
+            .unwrap();
+        assert_eq!(cols, analog.im2col((3, 3), 1, 1).unwrap());
     }
 
     #[test]

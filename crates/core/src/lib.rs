@@ -53,3 +53,47 @@ pub use network::{RunOutput, RunState, SnnNetwork};
 pub use neuron::{LifParams, LifPopulation};
 pub use spike::{SpikeRecord, SpikeTrain};
 pub use tensor::Tensor;
+
+/// Resolves a worker-thread count for batched execution: an explicit caller
+/// setting wins, then the `SNN_THREADS` environment variable, then the
+/// machine's available parallelism. Values below 1 (explicit or env) clamp to
+/// 1 — sequential execution — and an unparsable `SNN_THREADS` is ignored.
+///
+/// This is the single resolution rule shared by the inference engine
+/// (`EngineBuilder::threads`) and the trainer's worker pool, so the two paths
+/// cannot drift.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var("SNN_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+#[cfg(test)]
+mod thread_tests {
+    /// All `SNN_THREADS` scenarios live in one test so the process-global
+    /// environment variable is never raced by parallel test threads.
+    #[test]
+    fn resolve_threads_precedence() {
+        std::env::remove_var("SNN_THREADS");
+        assert_eq!(super::resolve_threads(Some(3)), 3);
+        assert_eq!(super::resolve_threads(Some(0)), 1);
+        assert!(super::resolve_threads(None) >= 1);
+        std::env::set_var("SNN_THREADS", "5");
+        assert_eq!(super::resolve_threads(None), 5);
+        assert_eq!(super::resolve_threads(Some(2)), 2, "explicit beats env");
+        std::env::set_var("SNN_THREADS", "0");
+        assert_eq!(super::resolve_threads(None), 1, "env clamps to 1");
+        std::env::set_var("SNN_THREADS", "not-a-number");
+        assert!(super::resolve_threads(None) >= 1, "unparsable env ignored");
+        std::env::remove_var("SNN_THREADS");
+    }
+}

@@ -203,6 +203,78 @@ impl SpikePlane {
             self.active.len() as f64 / self.dense.len() as f64
         }
     }
+
+    /// Event-driven im2col lowering of a **binary** `[C, H, W]` spike plane:
+    /// instead of scanning the (mostly zero) dense backing, zero-fills the
+    /// column matrix and scatters a `1.0` for every `(spike, kernel tap)`
+    /// pair. The result is the **identical matrix** [`Tensor::im2col_into`]
+    /// produces for the dense backing — spikes are exactly the 1.0 entries —
+    /// at `O(active · k²)` cost instead of `O(C · k² · out_h · out_w)` copy
+    /// traffic, which is what makes the BPTT weight-gradient lowering
+    /// event-aware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] for an analog plane (use the dense
+    /// lowering), plus the shape/geometry errors of [`Tensor::im2col`].
+    pub fn im2col_into(
+        &self,
+        kernel: (usize, usize),
+        stride: usize,
+        padding: usize,
+        out: &mut crate::tensor::Im2Col,
+    ) -> Result<(), SnnError> {
+        if !self.binary {
+            return Err(SnnError::config(
+                "input",
+                "SpikePlane::im2col_into requires a binary spike plane",
+            ));
+        }
+        let (_, h, w, out_h, out_w) =
+            crate::tensor::im2col_geometry(self.shape(), kernel, stride, padding)?;
+        let (kh, kw) = kernel;
+        let rows = self.shape()[0] * kh * kw;
+        let cols = out_h * out_w;
+        out.data.clear();
+        out.data.resize(rows * cols, 0.0);
+        out.rows = rows;
+        out.cols = cols;
+        out.out_h = out_h;
+        out.out_w = out_w;
+        for &flat in &self.active {
+            let flat = flat as usize;
+            let ci = flat / (h * w);
+            let rem = flat % (h * w);
+            let iy = rem / w;
+            let ix = rem % w;
+            let row0 = ci * kh * kw;
+            for ki in 0..kh {
+                // Output row receiving this spike through kernel row `ki`.
+                let y = iy as isize + padding as isize - ki as isize;
+                if y < 0 {
+                    break; // y only decreases as ki grows
+                }
+                let y = y as usize;
+                if !y.is_multiple_of(stride) || y / stride >= out_h {
+                    continue;
+                }
+                let oy = y / stride;
+                for kj in 0..kw {
+                    let x = ix as isize + padding as isize - kj as isize;
+                    if x < 0 {
+                        break;
+                    }
+                    let x = x as usize;
+                    if !x.is_multiple_of(stride) || x / stride >= out_w {
+                        continue;
+                    }
+                    let ox = x / stride;
+                    out.data[(row0 + ki * kw + kj) * cols + oy * out_w + ox] = 1.0;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A fixed-length binary spike vector, one bit per neuron, packed into `u64`
@@ -830,6 +902,39 @@ mod tests {
         plane.rebuild_active();
         assert_eq!(plane.active(), &[2, 6]);
         assert!(plane.is_binary());
+    }
+
+    #[test]
+    fn plane_im2col_rejects_analog_and_bad_shapes() {
+        use crate::tensor::{Im2Col, Tensor};
+        let analog = SpikePlane::from_tensor(&Tensor::full(&[1, 4, 4], 0.5));
+        let mut out = Im2Col::default();
+        assert!(analog.im2col_into((3, 3), 1, 1, &mut out).is_err());
+        let flat = SpikePlane::from_tensor(&Tensor::zeros(&[4, 4]));
+        assert!(flat.im2col_into((3, 3), 1, 1, &mut out).is_err());
+        let small = SpikePlane::from_tensor(&Tensor::zeros(&[1, 2, 2]));
+        assert!(small.im2col_into((5, 5), 1, 0, &mut out).is_err());
+    }
+
+    proptest! {
+        /// The event-driven gather lowering builds the identical column
+        /// matrix the dense scan produces, across strided/padded/ragged
+        /// geometries, while reusing one output buffer.
+        #[test]
+        fn plane_im2col_equals_dense_lowering(
+            bits in proptest::collection::vec(any::<bool>(), 2 * 6 * 5),
+            stride in 1_usize..3,
+            padding in 0_usize..2,
+            k in 1_usize..4,
+        ) {
+            use crate::tensor::{Im2Col, Tensor};
+            let input = Tensor::from_fn(&[2, 6, 5], |i| if bits[i] { 1.0 } else { 0.0 });
+            let plane = SpikePlane::from_tensor(&input);
+            let mut gathered = Im2Col::default();
+            plane.im2col_into((k, k), stride, padding, &mut gathered).unwrap();
+            let dense = input.im2col((k, k), stride, padding).unwrap();
+            prop_assert_eq!(gathered, dense);
+        }
     }
 
     #[test]

@@ -19,10 +19,22 @@
 //! gradients are accumulated over timesteps; the gradient with respect to the
 //! layer input becomes the spike gradient of the preceding layer.
 //!
+//! The production backward is **scratch-backed and event-aware**: layer
+//! inputs are cached as [`SpikePlane`]s, so the conv weight-gradient lowering
+//! is rebuilt by gather from the stored active-index lists when the frame is
+//! sparse (dispatching by the same crossover the forward uses), the pool
+//! backward takes each window's argmax from the event list, a replayed
+//! direct-coded input is lowered once per sample under the
+//! [`BpttConfig::cache_lowerings`] budget, the first layer's never-consumed
+//! input gradient is skipped, and every intermediate lives in a long-lived
+//! [`BpttScratch`] — after warmup the backward's time loop performs zero
+//! heap allocations.
+//!
 //! Losses, logits and gradients of the event-driven sweep are **bitwise
 //! identical** to the dense sweep, which is retained as
 //! [`Bptt::sample_gradients_dense`] and enforced by the
-//! `event_driven_sweep_bitwise_equals_dense_reference` test.
+//! `event_driven_sweep_bitwise_equals_dense_reference` test plus the
+//! proptests in this module and `crate::grad`.
 //!
 //! Quantization-aware training: when a non-`Fp32` precision is configured,
 //! the forward (and the input-gradient part of the backward) use
@@ -31,7 +43,11 @@
 //! quantized copies can be built once per batch via [`Bptt::prepare`] and
 //! shared across samples/workers instead of being re-cloned per sample.
 
-use crate::grad::{conv2d_backward, linear_backward, pool_backward};
+use crate::grad::{
+    conv2d_backward, conv2d_backward_cached, conv2d_backward_into, linear_backward,
+    linear_backward_into, pool_backward, pool_backward_into, CachedLowering, ConvGrads,
+    GradScratch, LinearGrads,
+};
 use crate::loss::cross_entropy;
 use crate::surrogate::SurrogateKind;
 use snn_core::encoding::{CodingScheme, Encoder};
@@ -160,12 +176,12 @@ pub struct SampleResult {
 
 /// Per-layer forward cache for one sample.
 struct LayerCache {
-    /// Layer inputs per timestep.
-    inputs: Vec<Tensor>,
+    /// Layer inputs per timestep, kept as [`SpikePlane`]s so the backward can
+    /// run its event-aware kernels (gather im2col lowering, event pool
+    /// argmax) straight off the stored active-index lists.
+    inputs: Vec<SpikePlane>,
     /// Membrane potentials (at thresholding) per timestep — weight layers only.
     membranes: Vec<Tensor>,
-    /// Output spike tensors per timestep.
-    outputs: Vec<Tensor>,
 }
 
 /// Everything the backward pass needs from one forward sweep.
@@ -174,6 +190,42 @@ struct ForwardPass {
     class_scores: Vec<f32>,
     total_spikes: u64,
     timesteps: usize,
+    /// Whether the first layer's input is the identical frame at every
+    /// timestep (direct coding with `timesteps > 1`) — the backward then
+    /// lowers it once and reuses the columns across timesteps.
+    replay_first: bool,
+}
+
+/// The cached forward sweep of one sample, for callers (benches, custom
+/// training loops) that drive [`Bptt::backward_sweep`] separately from
+/// [`Bptt::forward_sweep`] — e.g. to measure or repeat the backward pass
+/// against one fixed forward.
+pub struct ForwardSweep(ForwardPass);
+
+/// Reusable per-worker scratch for the scratch-backed BPTT backward: the
+/// layer-level [`GradScratch`], the per-timestep [`ConvGrads`]/[`LinearGrads`]
+/// output buffers, the membrane-gradient and carry tensors of the BPTT
+/// recursion, the ping-pong per-timestep gradient frames, and the cached
+/// lowering of a replayed input. Owned long-lived by each trainer worker and
+/// reused across every sample it processes: after the first sample warms the
+/// buffers, the backward performs **zero heap allocations per timestep**.
+#[derive(Debug, Default)]
+pub struct BpttScratch {
+    grad: GradScratch,
+    conv: ConvGrads,
+    linear: LinearGrads,
+    grad_u: Tensor,
+    carry: Tensor,
+    grad_cur: Vec<Tensor>,
+    grad_next: Vec<Tensor>,
+    replay_lowering: CachedLowering,
+}
+
+impl BpttScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BpttScratch::default()
+    }
 }
 
 /// Fake-quantized working copies of a network's weight layers — the layers
@@ -193,6 +245,31 @@ impl EffectiveLayers {
     }
 }
 
+/// Memory/compute knobs of the BPTT backward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpttConfig {
+    /// Byte budget for caching the im2col lowering of a **replayed** input
+    /// (direct coding presents the identical frame at every timestep) across
+    /// the backward's time loop, instead of re-lowering the same frame `T`
+    /// times. The budget covers the cache's full footprint — the staging
+    /// columns plus the pre-transposed copy, i.e. twice the lowering's size.
+    /// A lowering that does not fit falls back to per-timestep rebuilding;
+    /// `0` disables the cache. Gradients are bitwise identical either way —
+    /// the cache only skips recomputing an identical matrix.
+    pub cache_lowerings: usize,
+}
+
+impl Default for BpttConfig {
+    fn default() -> Self {
+        BpttConfig {
+            // Generous for every model in this workspace: the largest
+            // replayed lowering (paper-scale CONV1_1, 27 × 1024 f32) is
+            // ~108 KiB.
+            cache_lowerings: 8 * 1024 * 1024,
+        }
+    }
+}
+
 /// Surrogate-gradient BPTT engine.
 #[derive(Debug, Clone, Copy)]
 pub struct Bptt {
@@ -200,14 +277,26 @@ pub struct Bptt {
     pub surrogate: SurrogateKind,
     /// Weight precision for QAT (`Fp32` disables fake-quantization).
     pub precision: Precision,
+    /// Backward-pass memory/compute configuration.
+    pub config: BpttConfig,
 }
 
 impl Bptt {
-    /// Creates a BPTT engine.
+    /// Creates a BPTT engine with the default [`BpttConfig`].
     pub fn new(surrogate: SurrogateKind, precision: Precision) -> Self {
         Bptt {
             surrogate,
             precision,
+            config: BpttConfig::default(),
+        }
+    }
+
+    /// Creates a BPTT engine with an explicit [`BpttConfig`].
+    pub fn with_config(surrogate: SurrogateKind, precision: Precision, config: BpttConfig) -> Self {
+        Bptt {
+            surrogate,
+            precision,
+            config,
         }
     }
 
@@ -264,9 +353,8 @@ impl Bptt {
 
     /// Like [`Bptt::sample_gradients`] but with the quantized working layers
     /// supplied by an earlier [`Bptt::prepare`] call, so batches amortize the
-    /// per-sample weight cloning. The forward sweep is event-driven (spike
-    /// planes + gather forwards + blocked dense fallback + direct-coding
-    /// input replay) and bitwise-equal to [`Bptt::sample_gradients_dense`].
+    /// per-sample weight cloning. Allocates a fresh [`BpttScratch`] per call;
+    /// hot loops use [`Bptt::sample_gradients_with`] to reuse one.
     ///
     /// # Errors
     ///
@@ -280,11 +368,85 @@ impl Bptt {
         encoder: &Encoder,
         seed: u64,
     ) -> Result<SampleResult, SnnError> {
+        let mut scratch = BpttScratch::new();
+        self.sample_gradients_with(
+            network,
+            effective,
+            image,
+            label,
+            encoder,
+            seed,
+            &mut scratch,
+        )
+    }
+
+    /// The production entry point of the training hot loop: event-driven
+    /// forward sweep ([`Bptt::forward_sweep`]) followed by the scratch-backed
+    /// event-aware backward ([`Bptt::backward_sweep`]), with every backward
+    /// intermediate drawn from the caller's long-lived [`BpttScratch`] — the
+    /// per-timestep backward allocates nothing once the scratch is warm.
+    /// Losses, logits and gradients are **bitwise identical** to
+    /// [`Bptt::sample_gradients_dense`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Bptt::sample_gradients`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_gradients_with(
+        &self,
+        network: &SnnNetwork,
+        effective: &EffectiveLayers,
+        image: &Tensor,
+        label: usize,
+        encoder: &Encoder,
+        seed: u64,
+        scratch: &mut BpttScratch,
+    ) -> Result<SampleResult, SnnError> {
         if label >= network.num_classes() {
             return Err(SnnError::index(label, network.num_classes(), "class label"));
         }
         let forward = self.forward_event(network, effective, image, encoder, seed)?;
-        self.backward(network, effective, forward, label)
+        self.backward_scratch(network, effective, &forward, label, scratch)
+    }
+
+    /// Runs the event-driven forward sweep alone, returning the cached
+    /// activations/membranes for a later [`Bptt::backward_sweep`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Bptt::sample_gradients`].
+    pub fn forward_sweep(
+        &self,
+        network: &SnnNetwork,
+        effective: &EffectiveLayers,
+        image: &Tensor,
+        encoder: &Encoder,
+        seed: u64,
+    ) -> Result<ForwardSweep, SnnError> {
+        Ok(ForwardSweep(
+            self.forward_event(network, effective, image, encoder, seed)?,
+        ))
+    }
+
+    /// Runs the scratch-backed backward pass against a cached forward sweep.
+    /// Repeatable: the sweep is only read, so benches and custom loops can
+    /// drive the backward many times against one forward.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Bptt::sample_gradients`].
+    pub fn backward_sweep(
+        &self,
+        network: &SnnNetwork,
+        effective: &EffectiveLayers,
+        sweep: &ForwardSweep,
+        label: usize,
+        scratch: &mut BpttScratch,
+    ) -> Result<SampleResult, SnnError> {
+        if label >= network.num_classes() {
+            return Err(SnnError::index(label, network.num_classes(), "class label"));
+        }
+        self.backward_scratch(network, effective, &sweep.0, label, scratch)
     }
 
     /// The retained dense reference sweep: unrolls the network with dense
@@ -338,7 +500,6 @@ impl Bptt {
             .map(|_| LayerCache {
                 inputs: Vec::with_capacity(timesteps),
                 membranes: Vec::with_capacity(timesteps),
-                outputs: Vec::with_capacity(timesteps),
             })
             .collect();
         let mut lif_states: Vec<Option<LifPopulation>> = vec![None; layers.len()];
@@ -365,7 +526,7 @@ impl Bptt {
         for (t, frame) in frames.iter().enumerate() {
             for (li, layer) in layers.iter().enumerate() {
                 let input: &SpikePlane = if li == 0 { frame } else { src };
-                caches[li].inputs.push(input.dense().clone());
+                caches[li].inputs.push(input.clone());
                 match layer {
                     Layer::Conv { conv, bn, .. } => {
                         let cur: &Tensor = if li == 0 && replay_first {
@@ -390,11 +551,9 @@ impl Bptt {
                             .membranes
                             .push(Tensor::from_vec(state.membrane().to_vec(), cur.shape())?);
                         total_spikes += spikes as u64;
-                        caches[li].outputs.push(dst.dense().clone());
                     }
                     Layer::Pool { pool, .. } => {
                         pool.forward_plane(input, dst)?;
-                        caches[li].outputs.push(dst.dense().clone());
                     }
                     Layer::Linear { linear, .. } => {
                         let cur: &Tensor = if li == 0 && replay_first {
@@ -413,7 +572,6 @@ impl Bptt {
                             .membranes
                             .push(Tensor::from_vec(state.membrane().to_vec(), cur.shape())?);
                         total_spikes += spikes as u64;
-                        caches[li].outputs.push(dst.dense().clone());
                     }
                 }
                 std::mem::swap(&mut src, &mut dst);
@@ -434,6 +592,7 @@ impl Bptt {
             class_scores,
             total_spikes,
             timesteps,
+            replay_first,
         })
     }
 
@@ -456,7 +615,6 @@ impl Bptt {
             .map(|_| LayerCache {
                 inputs: Vec::with_capacity(timesteps),
                 membranes: Vec::with_capacity(timesteps),
-                outputs: Vec::with_capacity(timesteps),
             })
             .collect();
         let mut lif_states: Vec<Option<LifPopulation>> = vec![None; layers.len()];
@@ -467,7 +625,7 @@ impl Bptt {
         for frame in &frames {
             let mut x = frame.clone();
             for (li, layer) in layers.iter().enumerate() {
-                caches[li].inputs.push(x.clone());
+                caches[li].inputs.push(SpikePlane::from_tensor(&x));
                 match layer {
                     Layer::Conv { conv, bn, .. } => {
                         let mut current = conv.forward(&x)?;
@@ -482,13 +640,10 @@ impl Bptt {
                             current.shape(),
                         )?);
                         total_spikes += spikes.count_nonzero() as u64;
-                        caches[li].outputs.push(spikes.clone());
                         x = spikes;
                     }
                     Layer::Pool { pool, .. } => {
-                        let pooled = pool.forward(&x)?;
-                        caches[li].outputs.push(pooled.clone());
-                        x = pooled;
+                        x = pool.forward(&x)?;
                     }
                     Layer::Linear { linear, .. } => {
                         let current = linear.forward(&x)?;
@@ -500,7 +655,6 @@ impl Bptt {
                             current.shape(),
                         )?);
                         total_spikes += spikes.count_nonzero() as u64;
-                        caches[li].outputs.push(spikes.clone());
                         x = spikes;
                     }
                 }
@@ -519,6 +673,7 @@ impl Bptt {
             class_scores,
             total_spikes,
             timesteps,
+            replay_first: encoder.scheme == CodingScheme::Direct && timesteps > 1,
         })
     }
 
@@ -536,6 +691,7 @@ impl Bptt {
             class_scores,
             total_spikes,
             timesteps,
+            ..
         } = forward;
         let effective = effective.layers();
 
@@ -569,7 +725,7 @@ impl Bptt {
                 Layer::Pool { pool, .. } => {
                     let mut grad_in = Vec::with_capacity(timesteps);
                     for (t, grad) in grad_out.iter().enumerate().take(timesteps) {
-                        grad_in.push(pool_backward(pool, &caches[li].inputs[t], grad)?);
+                        grad_in.push(pool_backward(pool, caches[li].inputs[t].dense(), grad)?);
                     }
                     grad_out = grad_in;
                 }
@@ -605,7 +761,8 @@ impl Bptt {
                             }
                             None => grad_u,
                         };
-                        let grads = conv2d_backward(conv, &caches[li].inputs[t], &grad_current)?;
+                        let grads =
+                            conv2d_backward(conv, caches[li].inputs[t].dense(), &grad_current)?;
                         acc.weight += &grads.weight;
                         acc.bias += &grads.bias;
                         grad_in[t] = grads.input;
@@ -629,7 +786,9 @@ impl Bptt {
                         carry = grad_u.clone();
                         let grads = linear_backward(
                             linear,
-                            &caches[li].inputs[t].reshape(&[linear.in_features()])?,
+                            &caches[li].inputs[t]
+                                .dense()
+                                .reshape(&[linear.in_features()])?,
                             &grad_u.reshape(&[linear.out_features()])?,
                         )?;
                         acc.weight += &grads.weight;
@@ -650,6 +809,250 @@ impl Bptt {
             total_spikes,
         })
     }
+
+    /// The scratch-backed production backward: the same loss seeding and
+    /// detached-reset reverse recursion as [`Bptt::backward`], but every
+    /// per-timestep intermediate (membrane-gradient and carry tensors, layer
+    /// gradient buffers, lowerings, matmul repack/panel scratch, ping-pong
+    /// per-timestep gradient frames) lives in the caller's [`BpttScratch`]
+    /// and the layer kernels are the event-aware `_into` family of
+    /// [`crate::grad`] — after warmup the time loop performs zero heap
+    /// allocations. Two further event/structure exploits: the first layer's
+    /// input gradient (which has no consumer) is never computed, and a
+    /// replayed direct-coded input is lowered once and its columns reused
+    /// across all timesteps under the [`BpttConfig::cache_lowerings`] budget.
+    /// Gradients are **bitwise identical** to [`Bptt::backward`] on the same
+    /// forward pass.
+    fn backward_scratch(
+        &self,
+        network: &SnnNetwork,
+        effective: &EffectiveLayers,
+        forward: &ForwardPass,
+        label: usize,
+        scratch: &mut BpttScratch,
+    ) -> Result<SampleResult, SnnError> {
+        let lif = network.lif_params();
+        let caches = &forward.caches;
+        let timesteps = forward.timesteps;
+        let effective = effective.layers();
+
+        // ---------- Loss ----------
+        let (loss, grad_logits) = cross_entropy(&forward.class_scores, label)?;
+        let prediction = forward
+            .class_scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        let population = network.population();
+        let group = population / network.num_classes();
+
+        let BpttScratch {
+            grad: gscratch,
+            conv: conv_buf,
+            linear: linear_buf,
+            grad_u,
+            carry,
+            grad_cur,
+            grad_next,
+            replay_lowering,
+        } = scratch;
+
+        // Seed gradient: every output-population neuron receives the gradient
+        // of its class group at every timestep (the readout is a plain sum).
+        if grad_cur.len() < timesteps {
+            grad_cur.resize_with(timesteps, Tensor::default);
+        }
+        if grad_next.len() < timesteps {
+            grad_next.resize_with(timesteps, Tensor::default);
+        }
+        for g in grad_cur.iter_mut().take(timesteps) {
+            g.reset_to(&[population], 0.0);
+            for (neuron, v) in g.as_mut_slice().iter_mut().enumerate() {
+                *v = grad_logits[neuron / group];
+            }
+        }
+
+        // ---------- Backward ----------
+        let mut gradients = NetworkGradients::zeros_like(network);
+        for (li, layer) in effective.iter().enumerate().rev() {
+            // The first layer's input gradient has no consumer (its input is
+            // the encoded image), so its matmul + col2im are skipped.
+            let need_input = li > 0;
+            match layer {
+                Layer::Pool { pool, .. } => {
+                    if !need_input {
+                        continue;
+                    }
+                    for t in 0..timesteps {
+                        pool_backward_into(
+                            pool,
+                            &caches[li].inputs[t],
+                            &grad_cur[t],
+                            gscratch,
+                            &mut grad_next[t],
+                        )?;
+                    }
+                    std::mem::swap(grad_cur, grad_next);
+                }
+                Layer::Conv { conv, bn, .. } => {
+                    let theta = lif.threshold;
+                    let beta = lif.beta;
+                    carry.reset_to(caches[li].membranes[0].shape(), 0.0);
+                    // The membrane shape is constant across the layer's time
+                    // loop, so grad_u is shaped once here; every element is
+                    // overwritten by the derivative write below, making the
+                    // one-time zero fill shape-keeping only.
+                    grad_u.reset_to(caches[li].membranes[0].shape(), 0.0);
+                    // A replayed input frame (direct coding) lowers to the
+                    // same column matrix at every timestep: build it once
+                    // under the memory budget and reuse it across the time
+                    // loop instead of re-lowering the identical frame. The
+                    // cache keeps the staging columns alongside the
+                    // transposed copy, so it holds the budget to twice the
+                    // lowering's size.
+                    let out_shape = conv.output_shape(caches[li].inputs[0].shape())?;
+                    let lowering_bytes = conv.coefficients_per_output()
+                        * out_shape[1]
+                        * out_shape[2]
+                        * std::mem::size_of::<f32>();
+                    let replayed = forward.replay_first
+                        && li == 0
+                        && timesteps > 1
+                        && 2 * lowering_bytes <= self.config.cache_lowerings;
+                    if replayed {
+                        replay_lowering.prepare(conv, &caches[li].inputs[0])?;
+                    }
+                    let acc = gradients.per_layer[li]
+                        .as_mut()
+                        .expect("conv layer has grads");
+                    for t in (0..timesteps).rev() {
+                        let u = &caches[li].membranes[t];
+                        let go_t = &grad_cur[t];
+                        if go_t.len() != u.len() {
+                            return Err(SnnError::shape(u.shape(), go_t.shape(), "bptt conv grad"));
+                        }
+                        // ∂L/∂u[t] = ∂L/∂s[t]·σ'(u[t]) + β·carry
+                        {
+                            let gu = grad_u.as_mut_slice();
+                            for ((g, &go), &uu) in gu
+                                .iter_mut()
+                                .zip(go_t.as_slice().iter())
+                                .zip(u.as_slice().iter())
+                            {
+                                *g = go * self.surrogate.derivative(uu, theta);
+                            }
+                            for (g, &c) in gu.iter_mut().zip(carry.as_slice().iter()) {
+                                *g += c * beta;
+                            }
+                        }
+                        carry.copy_from(grad_u);
+                        // Through the (eval-mode) BN affine transform.
+                        if let Some(b) = bn {
+                            let plane = u.shape()[1] * u.shape()[2];
+                            let data = grad_u.as_mut_slice();
+                            for c in 0..b.channels() {
+                                let scale = b.gamma().as_slice()[c]
+                                    / (b.running_var().as_slice()[c] + b.epsilon()).sqrt();
+                                for v in &mut data[c * plane..(c + 1) * plane] {
+                                    *v *= scale;
+                                }
+                            }
+                        }
+                        if replayed {
+                            conv2d_backward_cached(
+                                conv,
+                                replay_lowering,
+                                caches[li].inputs[t].shape(),
+                                grad_u,
+                                gscratch,
+                                conv_buf,
+                                need_input,
+                            )?;
+                        } else {
+                            conv2d_backward_into(
+                                conv,
+                                &caches[li].inputs[t],
+                                grad_u,
+                                gscratch,
+                                conv_buf,
+                                need_input,
+                            )?;
+                        }
+                        acc.weight += &conv_buf.weight;
+                        acc.bias += &conv_buf.bias;
+                        if need_input {
+                            grad_next[t].copy_from(&conv_buf.input);
+                        }
+                    }
+                    if need_input {
+                        std::mem::swap(grad_cur, grad_next);
+                    }
+                }
+                Layer::Linear { linear, .. } => {
+                    let theta = lif.threshold;
+                    let beta = lif.beta;
+                    carry.reset_to(caches[li].membranes[0].shape(), 0.0);
+                    // Shaped once per layer; fully overwritten per timestep.
+                    grad_u.reset_to(caches[li].membranes[0].shape(), 0.0);
+                    let acc = gradients.per_layer[li]
+                        .as_mut()
+                        .expect("linear layer has grads");
+                    for t in (0..timesteps).rev() {
+                        let u = &caches[li].membranes[t];
+                        let go_t = &grad_cur[t];
+                        if go_t.len() != u.len() {
+                            return Err(SnnError::shape(
+                                u.shape(),
+                                go_t.shape(),
+                                "bptt linear grad",
+                            ));
+                        }
+                        {
+                            let gu = grad_u.as_mut_slice();
+                            for ((g, &go), &uu) in gu
+                                .iter_mut()
+                                .zip(go_t.as_slice().iter())
+                                .zip(u.as_slice().iter())
+                            {
+                                *g = go * self.surrogate.derivative(uu, theta);
+                            }
+                            for (g, &c) in gu.iter_mut().zip(carry.as_slice().iter()) {
+                                *g += c * beta;
+                            }
+                        }
+                        carry.copy_from(grad_u);
+                        linear_backward_into(
+                            linear,
+                            &caches[li].inputs[t],
+                            grad_u,
+                            gscratch,
+                            linear_buf,
+                            need_input,
+                        )?;
+                        acc.weight += &linear_buf.weight;
+                        acc.bias += &linear_buf.bias;
+                        if need_input {
+                            grad_next[t].copy_from(&linear_buf.input);
+                        }
+                    }
+                    if need_input {
+                        std::mem::swap(grad_cur, grad_next);
+                    }
+                }
+            }
+        }
+
+        Ok(SampleResult {
+            loss,
+            logits: forward.class_scores.clone(),
+            correct: prediction == label,
+            gradients,
+            total_spikes: forward.total_spikes,
+        })
+    }
 }
 
 impl Default for Bptt {
@@ -661,6 +1064,7 @@ impl Default for Bptt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use snn_core::network::{vgg9, Vgg9Config};
 
     fn small_net() -> SnnNetwork {
@@ -746,6 +1150,156 @@ mod tests {
                     _ => panic!("gradient structure mismatch at layer {li} ({ctx})"),
                 }
             }
+        }
+    }
+
+    /// Compares two [`SampleResult`]s bit-for-bit (loss, logits, every
+    /// gradient).
+    fn assert_results_bitwise_eq(a: &SampleResult, b: &SampleResult, ctx: &str) {
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "loss {ctx}");
+        assert_eq!(a.correct, b.correct, "correct {ctx}");
+        assert_eq!(a.total_spikes, b.total_spikes, "spikes {ctx}");
+        for (x, y) in a.logits.iter().zip(b.logits.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "logits {ctx}");
+        }
+        for (li, (ga, gb)) in a
+            .gradients
+            .per_layer()
+            .iter()
+            .zip(b.gradients.per_layer().iter())
+            .enumerate()
+        {
+            match (ga, gb) {
+                (None, None) => {}
+                (Some(ga), Some(gb)) => {
+                    for (x, y) in ga.weight.as_slice().iter().zip(gb.weight.as_slice().iter()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "weight grad {ctx} layer {li}");
+                    }
+                    for (x, y) in ga.bias.as_slice().iter().zip(gb.bias.as_slice().iter()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "bias grad {ctx} layer {li}");
+                    }
+                }
+                _ => panic!("gradient structure mismatch at layer {li} ({ctx})"),
+            }
+        }
+    }
+
+    /// One long-lived scratch reused across different samples, labels and
+    /// seeds produces results bitwise identical to a fresh scratch per call —
+    /// no state leaks between samples through the reused buffers.
+    #[test]
+    fn reused_scratch_is_bitwise_identical_to_fresh_scratch() {
+        let net = small_net();
+        let bptt = Bptt::new(SurrogateKind::paper_default(), Precision::Int4);
+        let effective = bptt.prepare(&net).unwrap();
+        let mut scratch = BpttScratch::new();
+        let cases = [
+            (Encoder::direct(3), 2usize, 0u64, 0.013_f32),
+            (Encoder::rate(4), 7, 9, 0.029),
+            (Encoder::direct(2), 0, 3, 0.041),
+        ];
+        for (encoder, label, seed, freq) in cases {
+            let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * freq).sin().abs());
+            let reused = bptt
+                .sample_gradients_with(
+                    &net,
+                    &effective,
+                    &image,
+                    label,
+                    &encoder,
+                    seed,
+                    &mut scratch,
+                )
+                .unwrap();
+            let fresh = bptt
+                .sample_gradients_prepared(&net, &effective, &image, label, &encoder, seed)
+                .unwrap();
+            assert_results_bitwise_eq(&reused, &fresh, &format!("{encoder:?}/{label}"));
+        }
+    }
+
+    /// Disabling the replayed-lowering cache must not change a single bit —
+    /// the cache only skips recomputing an identical matrix.
+    #[test]
+    fn lowering_cache_budget_does_not_change_gradients() {
+        let net = small_net();
+        let image = sample_image();
+        let encoder = Encoder::direct(3);
+        let cached = Bptt::new(SurrogateKind::paper_default(), Precision::Fp32);
+        assert!(cached.config.cache_lowerings > 0);
+        let uncached = Bptt::with_config(
+            SurrogateKind::paper_default(),
+            Precision::Fp32,
+            BpttConfig { cache_lowerings: 0 },
+        );
+        let a = cached
+            .sample_gradients(&net, &image, 4, &encoder, 1)
+            .unwrap();
+        let b = uncached
+            .sample_gradients(&net, &image, 4, &encoder, 1)
+            .unwrap();
+        assert_results_bitwise_eq(&a, &b, "cache on/off");
+    }
+
+    /// The split forward/backward entry points compose to exactly the fused
+    /// path, and the backward is repeatable against one cached forward.
+    #[test]
+    fn forward_backward_split_matches_fused_path() {
+        let net = small_net();
+        let bptt = Bptt::default();
+        let effective = bptt.prepare(&net).unwrap();
+        let image = sample_image();
+        let encoder = Encoder::direct(2);
+        let mut scratch = BpttScratch::new();
+        let fused = bptt
+            .sample_gradients_with(&net, &effective, &image, 5, &encoder, 7, &mut scratch)
+            .unwrap();
+        let sweep = bptt
+            .forward_sweep(&net, &effective, &image, &encoder, 7)
+            .unwrap();
+        let first = bptt
+            .backward_sweep(&net, &effective, &sweep, 5, &mut scratch)
+            .unwrap();
+        let second = bptt
+            .backward_sweep(&net, &effective, &sweep, 5, &mut scratch)
+            .unwrap();
+        assert_results_bitwise_eq(&first, &fused, "split vs fused");
+        assert_results_bitwise_eq(&second, &first, "repeated backward");
+        assert!(bptt
+            .backward_sweep(&net, &effective, &sweep, 10, &mut scratch)
+            .is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        /// Fuzzed end-to-end bit-equality: the scratch-backed event-aware
+        /// sweep equals the retained dense reference for random images,
+        /// labels, seeds, precisions and coding schemes.
+        #[test]
+        fn scratch_sweep_bitwise_equals_dense_reference(
+            seed in 0_u64..1000,
+            label in 0_usize..10,
+            precision_idx in 0_usize..2,
+            rate in any::<bool>(),
+            timesteps in 1_usize..4,
+            freq in 1_u32..50,
+        ) {
+            let net = small_net();
+            let precision = [Precision::Fp32, Precision::Int4][precision_idx];
+            let encoder = if rate {
+                Encoder::rate(timesteps)
+            } else {
+                Encoder::direct(timesteps)
+            };
+            let image = Tensor::from_fn(&[3, 16, 16], |i| {
+                ((i as f32) * (freq as f32) * 1e-3).sin().abs()
+            });
+            let bptt = Bptt::new(SurrogateKind::paper_default(), precision);
+            let event = bptt.sample_gradients(&net, &image, label, &encoder, seed).unwrap();
+            let dense = bptt
+                .sample_gradients_dense(&net, &image, label, &encoder, seed)
+                .unwrap();
+            assert_results_bitwise_eq(&event, &dense, &format!("{precision:?}/{encoder:?}"));
         }
     }
 

@@ -29,7 +29,8 @@ pub mod schedule;
 pub mod surrogate;
 pub mod trainer;
 
-pub use bptt::{Bptt, NetworkGradients};
+pub use bptt::{Bptt, BpttConfig, BpttScratch, NetworkGradients};
+pub use grad::{CachedLowering, GradScratch};
 pub use loss::{cross_entropy, softmax};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use surrogate::SurrogateKind;

@@ -5,7 +5,7 @@
 //! spike statistics of a trained network on a dataset split, which is what
 //! the Fig. 1 / Table II experiments consume.
 
-use crate::bptt::{Bptt, NetworkGradients, SampleResult};
+use crate::bptt::{Bptt, BpttScratch, NetworkGradients, SampleResult};
 use crate::optim::{Adam, Optimizer};
 use crate::surrogate::SurrogateKind;
 use snn_core::encoding::Encoder;
@@ -14,6 +14,14 @@ use snn_core::network::{Layer, SnnNetwork};
 use snn_core::quant::Precision;
 use snn_core::stats::AggregateSpikeStats;
 use snn_data::{Dataset, Sample, Split};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of samples a worker claims per grab from the shared batch queue: a
+/// couple at a time amortizes the atomic while keeping the tail balanced.
+/// Chunking is pure scheduling — results land in per-sample slots and are
+/// folded in sample order, so the batch gradient is bitwise identical at any
+/// thread count (and to the sequential path).
+const TRAIN_CHUNK: usize = 2;
 
 /// Hyper-parameters of a training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,9 +62,9 @@ impl TrainConfig {
             grad_clip: Some(5.0),
             max_train_samples: None,
             seed: 0,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            // The same resolution rule as inference (`EngineBuilder`):
+            // `SNN_THREADS` wins over the machine's available parallelism.
+            threads: snn_core::resolve_threads(None),
         }
     }
 
@@ -115,11 +123,22 @@ pub struct EvalReport {
 }
 
 /// Mini-batch trainer: Adam + surrogate-gradient BPTT (+ optional QAT).
+///
+/// Per-sample gradient computation fans out over a chunked worker pool
+/// ([`std::thread::scope`] workers pulling sample chunks from a shared
+/// counter, mirroring `Session::run_batch`), so per-batch overhead is
+/// O(threads) thread spawns instead of the former one-spawn-per-sample.
+/// Each worker slot owns a **persistent** [`BpttScratch`] that lives in the
+/// trainer across batches and epochs, so the backward pass stops allocating
+/// once the first batch has warmed the buffers.
 #[derive(Debug)]
 pub struct Trainer {
     config: TrainConfig,
     bptt: Bptt,
     optimizer: Adam,
+    /// One long-lived backward scratch per worker slot, index-aligned with
+    /// the spawned workers (slot 0 doubles as the sequential-path scratch).
+    scratches: Vec<BpttScratch>,
 }
 
 impl Trainer {
@@ -131,6 +150,7 @@ impl Trainer {
             config,
             bptt,
             optimizer,
+            scratches: Vec::new(),
         }
     }
 
@@ -194,14 +214,23 @@ impl Trainer {
         Ok(report)
     }
 
-    /// Computes per-sample gradients for one batch, in parallel when the
-    /// configuration allows more than one thread. The fake-quantized working
-    /// copies of the weight layers are built once per batch
-    /// ([`Bptt::prepare`]) and shared by every sample and worker thread —
-    /// weights only change at the optimizer step between batches, so the
-    /// per-sample re-quantization the old loop paid was pure overhead.
+    /// Computes per-sample gradients for one batch over the persistent
+    /// chunked worker pool. The fake-quantized working copies of the weight
+    /// layers are built once per batch ([`Bptt::prepare`]) and shared by
+    /// every sample and worker thread — weights only change at the optimizer
+    /// step between batches, so per-sample re-quantization would be pure
+    /// overhead.
+    ///
+    /// Determinism: workers pull contiguous [`TRAIN_CHUNK`]-sized index
+    /// chunks from an atomic counter and deposit each [`SampleResult`] in its
+    /// sample's slot, and the caller folds the slots in sample order —
+    /// which worker computed which sample can never affect a bit of the
+    /// batch gradient. Workers do **not** fold gradients into per-worker
+    /// accumulators: a race-dependent (or thread-count-dependent) merge
+    /// order would reassociate the f32 sums and break the bitwise
+    /// thread-count-invariance guarantee of `fit`.
     fn batch_results(
-        &self,
+        &mut self,
         network: &SnnNetwork,
         batch: &[Sample],
         epoch: u64,
@@ -210,47 +239,75 @@ impl Trainer {
         let encoder = self.config.encoder;
         let base_seed = self.config.seed ^ (epoch << 32);
         let effective = bptt.prepare(network)?;
-        if self.config.threads <= 1 || batch.len() <= 1 {
+        let workers = self.config.threads.max(1).min(batch.len());
+        while self.scratches.len() < workers.max(1) {
+            self.scratches.push(BpttScratch::new());
+        }
+        if workers <= 1 {
+            let scratch = &mut self.scratches[0];
             return batch
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    bptt.sample_gradients_prepared(
+                    bptt.sample_gradients_with(
                         network,
                         &effective,
                         &s.image,
                         s.label,
                         &encoder,
                         base_seed + i as u64,
+                        scratch,
                     )
                 })
                 .collect();
         }
-        let results: Vec<Result<SampleResult, SnnError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = batch
-                .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    let net_ref = &*network;
-                    let eff_ref = &effective;
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<SampleResult, SnnError>>> =
+            (0..batch.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self.scratches[..workers]
+                .iter_mut()
+                .map(|scratch| {
+                    let next = &next;
+                    let effective = &effective;
                     scope.spawn(move || {
-                        bptt.sample_gradients_prepared(
-                            net_ref,
-                            eff_ref,
-                            &s.image,
-                            s.label,
-                            &encoder,
-                            base_seed + i as u64,
-                        )
+                        let mut done: Vec<(usize, Result<SampleResult, SnnError>)> = Vec::new();
+                        loop {
+                            let start = next.fetch_add(TRAIN_CHUNK, Ordering::Relaxed);
+                            if start >= batch.len() {
+                                break;
+                            }
+                            let end = (start + TRAIN_CHUNK).min(batch.len());
+                            for (offset, s) in batch[start..end].iter().enumerate() {
+                                let i = start + offset;
+                                done.push((
+                                    i,
+                                    bptt.sample_gradients_with(
+                                        network,
+                                        effective,
+                                        &s.image,
+                                        s.label,
+                                        &encoder,
+                                        base_seed + i as u64,
+                                        scratch,
+                                    ),
+                                ));
+                            }
+                        }
+                        done
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
+            for handle in handles {
+                for (i, result) in handle.join().expect("trainer worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
         });
-        results.into_iter().collect()
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every sample is claimed by exactly one chunk"))
+            .collect()
     }
 }
 
@@ -429,6 +486,57 @@ mod tests {
         assert!(report.mean_spikes_per_sample > 0.0);
         assert!((0.0..=1.0).contains(&report.accuracy));
         assert_eq!(report.aggregate.runs, 5);
+    }
+
+    /// The worker-pool determinism claim: training is bitwise identical at
+    /// every thread count — same per-epoch losses/accuracies/spike counts and
+    /// same final weights — because per-sample results are folded in sample
+    /// order regardless of which worker produced them. Exercised in CI both
+    /// with the default environment and with `SNN_THREADS=4`.
+    #[test]
+    fn fit_is_bitwise_identical_across_thread_counts() {
+        let data = tiny_data();
+        let mut reference_report = None;
+        let mut reference_weights: Option<Vec<Vec<f32>>> = None;
+        for threads in [1_usize, 2, 3, 4] {
+            let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+            let mut cfg = TrainConfig::quick_qat(Precision::Int4);
+            cfg.epochs = 2;
+            cfg.max_train_samples = Some(6);
+            cfg.batch_size = 3;
+            cfg.encoder = Encoder::rate(2); // stochastic coding: seeds must line up too
+            cfg.threads = threads;
+            let mut trainer = Trainer::new(cfg);
+            let report = trainer.fit(&mut net, &data).unwrap();
+            let weights: Vec<Vec<f32>> = net
+                .layers()
+                .iter()
+                .filter_map(|layer| match layer {
+                    Layer::Conv { conv, .. } => Some(conv.weight().as_slice().to_vec()),
+                    Layer::Linear { linear, .. } => Some(linear.weight().as_slice().to_vec()),
+                    Layer::Pool { .. } => None,
+                })
+                .collect();
+            match (&reference_report, &reference_weights) {
+                (None, _) => {
+                    reference_report = Some(report);
+                    reference_weights = Some(weights);
+                }
+                (Some(ref_report), Some(ref_weights)) => {
+                    assert_eq!(&report, ref_report, "report differs at {threads} threads");
+                    for (lw, rw) in weights.iter().zip(ref_weights.iter()) {
+                        for (a, b) in lw.iter().zip(rw.iter()) {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "weights differ at {threads} threads"
+                            );
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Proves the backward pass's allocation contract: once a [`BpttScratch`] is
+//! warm, the scratch-backed backward performs **zero heap allocations per
+//! timestep**. A counting global allocator measures the allocations of one
+//! `backward_sweep` call against cached forwards with different timestep
+//! counts — all remaining allocations are per-sample constants (the returned
+//! gradients, loss buffers), so the counts must be identical across `T`.
+//!
+//! This lives in its own integration-test binary because the global
+//! allocator is process-wide; the single test keeps the counter race-free.
+
+use snn_core::encoding::Encoder;
+use snn_core::network::{vgg9, Vgg9Config};
+use snn_core::tensor::Tensor;
+use snn_train::bptt::{Bptt, BpttScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation served to the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warm_backward_allocation_count_is_independent_of_timesteps() {
+    let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let bptt = Bptt::default();
+    let effective = bptt.prepare(&net).unwrap();
+    let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.023).sin().abs());
+    let mut scratch = BpttScratch::new();
+
+    let mut counts = Vec::new();
+    for timesteps in [2_usize, 4, 6] {
+        let encoder = Encoder::direct(timesteps);
+        let sweep = bptt
+            .forward_sweep(&net, &effective, &image, &encoder, 0)
+            .unwrap();
+        // First call warms the scratch for this timestep count; the second,
+        // measured call must only pay the per-sample constants.
+        bptt.backward_sweep(&net, &effective, &sweep, 3, &mut scratch)
+            .unwrap();
+        let count = count_allocs(|| {
+            bptt.backward_sweep(&net, &effective, &sweep, 3, &mut scratch)
+                .unwrap();
+        });
+        counts.push(count);
+        // Repeatability at a fixed T: a third call costs exactly the same.
+        let again = count_allocs(|| {
+            bptt.backward_sweep(&net, &effective, &sweep, 3, &mut scratch)
+                .unwrap();
+        });
+        assert_eq!(
+            count, again,
+            "warm backward alloc count unstable at T={timesteps}"
+        );
+    }
+    assert_eq!(
+        counts[0], counts[1],
+        "backward allocations grow with timesteps: {counts:?}"
+    );
+    assert_eq!(
+        counts[1], counts[2],
+        "backward allocations grow with timesteps: {counts:?}"
+    );
+}

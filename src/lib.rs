@@ -80,23 +80,13 @@ struct EngineShared {
 
 /// Resolves the worker-thread count for batched inference: an explicit
 /// builder setting wins, then the `SNN_THREADS` environment variable, then
-/// the machine's available parallelism. Values below 1 (builder or env)
-/// clamp to 1 — sequential execution — matching
-/// [`EngineBuilder::threads`]'s documented behavior; an unparsable
-/// `SNN_THREADS` is ignored.
+/// the machine's available parallelism — the [`snn_core::resolve_threads`]
+/// rule shared with the trainer's worker pool, so the two paths cannot
+/// drift. Values below 1 (builder or env) clamp to 1 — sequential execution
+/// — matching [`EngineBuilder::threads`]'s documented behavior; an
+/// unparsable `SNN_THREADS` is ignored.
 fn resolve_threads(builder_threads: Option<usize>) -> usize {
-    builder_threads
-        .or_else(|| {
-            std::env::var("SNN_THREADS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-        })
-        .map(|n| n.max(1))
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    snn_core::resolve_threads(builder_threads)
 }
 
 /// Fused result of one inference: classification output, per-layer spike
