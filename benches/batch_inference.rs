@@ -15,6 +15,11 @@
 //!   one cached forward sweep: the persistent-scratch production path vs a
 //!   fresh scratch per call (gradients are bitwise identical; only the
 //!   allocation behaviour differs).
+//! * `bptt_input_grad` — the fused event-aware conv input-gradient kernel
+//!   (`conv2d_input_grad_into`: cached `Wᵀ`, blocked matmul fused with the
+//!   col2im scatter, all-zero gradient columns skipped) vs the unfused
+//!   `matmul_at_b_to` + `col2im_into` reference, at 100%/25%/5% active
+//!   gradient columns (results are bitwise identical).
 //! * `train_epoch` — one BPTT sample (event-driven vs retained dense sweep)
 //!   and one full `Trainer::fit` epoch over 8 synthetic samples at 1/2/4
 //!   worker threads (bitwise-identical results at every thread count).
@@ -179,6 +184,68 @@ fn bench_bptt_backward(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_input_grad(c: &mut Criterion) {
+    use snn::train::grad::{conv2d_input_grad_into, GradScratch};
+    use snn_core::tensor::{matmul_at_b_to, Im2Col};
+
+    // CONV2-like geometry from the small model: 16 -> 16 channels on an
+    // 8x8 map, 3x3 same-padding (coeffs = 144, spatial = 64).
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let conv = Conv2d::with_kaiming_init(16, 16, 3, 1, 1, &mut rng).expect("conv builds");
+    let input_shape = [16_usize, 8, 8];
+    let out_shape = conv.output_shape(&input_shape).expect("geometry");
+    let spatial = out_shape[1] * out_shape[2];
+    let coeffs = conv.coefficients_per_output();
+    conv.transposed_weight(); // warmed once per batch by Bptt::prepare
+
+    let mut group = c.benchmark_group("bptt_input_grad");
+    for &(label, frac) in &[("dense", 1.0_f64), ("cols25%", 0.25), ("cols5%", 0.05)] {
+        // Gradient frame with only ~frac of its output columns non-zero —
+        // the regime the pool-routed, carry-free final timestep produces.
+        let grad = Tensor::from_fn(&out_shape, |i| {
+            let s = i % spatial;
+            if ((s.wrapping_mul(2_654_435_761)) % 1000) as f64 / 1000.0 < frac {
+                ((i as f32) * 0.37).sin() * 1e-2
+            } else {
+                0.0
+            }
+        });
+        group.bench_function(BenchmarkId::new("fused", label), |b| {
+            let mut scratch = GradScratch::new();
+            let mut out = Tensor::default();
+            b.iter(|| {
+                conv2d_input_grad_into(&conv, &input_shape, &grad, &mut scratch, &mut out)
+                    .expect("fused input grad")
+            });
+        });
+        group.bench_function(BenchmarkId::new("unfused", label), |b| {
+            let mut cols = Im2Col {
+                data: Vec::new(),
+                rows: coeffs,
+                cols: spatial,
+                out_h: out_shape[1],
+                out_w: out_shape[2],
+            };
+            let mut out = Tensor::default();
+            b.iter(|| {
+                cols.data.clear();
+                cols.data.resize(coeffs * spatial, 0.0);
+                matmul_at_b_to(
+                    conv.weight().as_slice(),
+                    grad.as_slice(),
+                    conv.out_channels(),
+                    coeffs,
+                    spatial,
+                    &mut cols.data,
+                );
+                Tensor::col2im_into(&cols, 16, 8, 8, (3, 3), 1, 1, &mut out)
+                    .expect("unfused input grad")
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_train(c: &mut Criterion) {
     let net = vgg9(&Vgg9Config::cifar10_small()).expect("vgg9 builds");
     let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.017).sin().abs());
@@ -231,6 +298,7 @@ criterion_group!(
     bench_sparse_conv,
     bench_matmul,
     bench_bptt_backward,
+    bench_input_grad,
     bench_train
 );
 criterion_main!(benches);

@@ -2,11 +2,11 @@
 //!
 //! The paper compares its accelerator against two published designs:
 //!
-//! * **SyncNN** (Panchapakesan et al., TRETS 2022, reference [15]): an
+//! * **SyncNN** (Panchapakesan et al., TRETS 2022, reference \[15\]): an
 //!   event-driven accelerator with quantization support on a Xilinx ZCU102,
 //!   reported at 200 MHz with 0.4 W dynamic power, 65 FPS on SVHN and 62 FPS
 //!   on CIFAR-10 for a 4-bit VGG11;
-//! * **Gerlinghoff et al.** (DATE 2022, reference [7]): a resource-efficient
+//! * **Gerlinghoff et al.** (DATE 2022, reference \[7\]): a resource-efficient
 //!   accelerator supporting emerging neural encodings on the same XCVU13P,
 //!   reported at 115 MHz, 4.9 W, 210 ms latency and 4.7 FPS on CIFAR-100 for
 //!   a 32-bit VGG11.

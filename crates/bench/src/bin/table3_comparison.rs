@@ -1,5 +1,5 @@
 //! Regenerates Table III: comparison of our perf2/perf4 configurations
-//! against SyncNN [15] and Gerlinghoff et al. [7].
+//! against SyncNN \[15\] and Gerlinghoff et al. \[7\].
 //!
 //! Usage: `cargo run --release -p snn-bench --bin table3_comparison [--smoke] [--json]`
 

@@ -1,7 +1,7 @@
 //! Table III — comparison to prior work.
 //!
 //! The paper compares its `perf2` / `perf4` configurations against SyncNN
-//! [15] on SVHN and CIFAR-10, and against Gerlinghoff et al. [7] on
+//! \[15\] on SVHN and CIFAR-10, and against Gerlinghoff et al. \[7\] on
 //! CIFAR-100, reporting up to 51× higher throughput and 2× lower power than
 //! the latter. This experiment produces the same table: our rows come from
 //! the accelerator model driven by paper-scale spike traces, the prior-work

@@ -234,9 +234,17 @@ impl Conv2d {
         self.wt.take();
     }
 
-    /// The `[in_c * k², out_c]` transposed filter bank of the event-driven
-    /// forward, built on first use and cached until a weight mutation.
-    fn transposed_weight(&self) -> &[f32] {
+    /// The `[in_c * k², out_c]` transposed filter bank `Wᵀ`, built on first
+    /// use and cached until a weight mutation.
+    ///
+    /// Two hot paths consume it: the event-driven forward
+    /// ([`Conv2d::forward_spikes`]) gathers its rows per spike tap, and the
+    /// BPTT input-gradient kernel (`snn-train`'s `conv2d_input_grad_into`)
+    /// uses it as the pre-transposed left operand of `Wᵀ · grad_out`, so
+    /// neither re-transposes the weights per call. Training warms it once
+    /// per batch in `Bptt::prepare` (weights only change at optimizer steps,
+    /// which invalidate the cache through [`Conv2d::weight_mut`]).
+    pub fn transposed_weight(&self) -> &[f32] {
         self.wt.get_or_init(|| {
             let ck2 = self.coefficients_per_output();
             let oc_n = self.out_channels;

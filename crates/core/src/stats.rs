@@ -12,7 +12,7 @@
 //! (9 for 3×3 kernels), `C_out` the number of output channels, `S_i` the
 //! number of spikes arriving from input feature map `i`, `N` the number of FC
 //! output neurons and `S` the total number of input spikes. This module
-//! computes those workloads from a [`LayerTrace`](crate::network::LayerTrace)
+//! computes those workloads from a [`crate::network::LayerTrace`]
 //! collection and offers the quantization-vs-sparsity comparisons used in
 //! Fig. 1.
 

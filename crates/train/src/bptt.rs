@@ -292,6 +292,35 @@ impl Bptt {
     }
 
     /// Creates a BPTT engine with an explicit [`BpttConfig`].
+    ///
+    /// # Example
+    ///
+    /// One forward/backward pass with the replayed-lowering cache disabled —
+    /// gradients are bitwise identical either way; the budget only controls
+    /// whether an identical matrix is recomputed per timestep:
+    ///
+    /// ```
+    /// use snn_core::encoding::Encoder;
+    /// use snn_core::network::{vgg9, Vgg9Config};
+    /// use snn_core::quant::Precision;
+    /// use snn_core::tensor::Tensor;
+    /// use snn_train::bptt::{Bptt, BpttConfig};
+    /// use snn_train::surrogate::SurrogateKind;
+    ///
+    /// # fn main() -> Result<(), snn_core::SnnError> {
+    /// let net = vgg9(&Vgg9Config::cifar10_small())?;
+    /// let bptt = Bptt::with_config(
+    ///     SurrogateKind::paper_default(),
+    ///     Precision::Int4, // QAT: fake-quantized forward, fp32 master weights
+    ///     BpttConfig { cache_lowerings: 0 },
+    /// );
+    /// let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.02).sin().abs());
+    /// let result = bptt.sample_gradients(&net, &image, 3, &Encoder::direct(2), 0)?;
+    /// assert!(result.loss.is_finite());
+    /// assert!(result.gradients.global_norm() > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn with_config(surrogate: SurrogateKind, precision: Precision, config: BpttConfig) -> Self {
         Bptt {
             surrogate,
@@ -306,11 +335,19 @@ impl Bptt {
     /// pass the result to [`Bptt::sample_gradients_prepared`] for every
     /// sample, sharing one set of quantized weights across worker threads.
     ///
+    /// Each convolution's transposed filter bank `Wᵀ`
+    /// ([`snn_core::layers::Conv2d::transposed_weight`]) is warmed here,
+    /// once per batch — the
+    /// event-driven forward gathers its rows per spike tap and the backward's
+    /// fused input-gradient kernel ([`crate::grad::conv2d_input_grad_into`])
+    /// uses it as the pre-transposed matmul operand, so neither path pays a
+    /// weight transpose inside the time loop.
+    ///
     /// # Errors
     ///
     /// Propagates quantization failures.
     pub fn prepare(&self, network: &SnnNetwork) -> Result<EffectiveLayers, SnnError> {
-        let layers = network
+        let layers: Vec<Layer> = network
             .layers()
             .iter()
             .map(|layer| match layer {
@@ -329,6 +366,11 @@ impl Bptt {
                 }),
             })
             .collect::<Result<_, SnnError>>()?;
+        for layer in &layers {
+            if let Layer::Conv { conv, .. } = layer {
+                conv.transposed_weight();
+            }
+        }
         Ok(EffectiveLayers { layers })
     }
 

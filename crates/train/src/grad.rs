@@ -15,16 +15,18 @@
 //!   they take the layer input as a [`SpikePlane`] (so binary spike frames
 //!   use event-aware gather/scatter kernels), write into caller-owned
 //!   [`ConvGrads`]/[`LinearGrads`] buffers and thread a [`GradScratch`], so
-//!   the per-timestep backward allocates nothing in steady state. Their
-//!   results are **bitwise identical** to the reference family — enforced by
-//!   the proptests in this module.
+//!   the per-timestep backward allocates nothing in steady state. The conv
+//!   input gradient runs the fused event-aware [`conv2d_input_grad_into`]
+//!   kernel (cached `Wᵀ`, all-zero gradient columns skipped, matmul fused
+//!   with the col2im scatter). Results are **bitwise identical** to the
+//!   reference family — enforced by the proptests in this module.
 
 use snn_core::error::SnnError;
 use snn_core::layers::{Conv2d, Linear, SpikeMaxPool2d};
 use snn_core::spike::SpikePlane;
 use snn_core::tensor::{
-    matmul, matmul_a_bt, matmul_a_bt_to_with, matmul_at_b, matmul_at_b_to, matmul_to_with, Im2Col,
-    Tensor,
+    matmul, matmul_a_bt, matmul_a_bt_to_with, matmul_at_b, matmul_at_b_to, matmul_scatter_col2im,
+    matmul_to_with, Im2Col, Tensor,
 };
 
 /// Gradients of a convolution layer.
@@ -52,22 +54,27 @@ pub struct LinearGrads {
 }
 
 /// Reusable scratch threaded through the `_into` backward passes: the im2col
-/// lowering of the layer input, the input-gradient column matrix, the
-/// transposed-`b` repack and panel scratch of the weight-gradient matmul, and
-/// the per-window first-spike table of the event-aware pool backward. One
+/// lowering of the layer input, the transposed-`b` repack and panel scratch
+/// of the weight-gradient matmul, the active-column mask/list/panel/tile of
+/// the fused input-gradient kernel ([`conv2d_input_grad_into`]), and the
+/// per-window first-spike table of the event-aware pool backward. One
 /// instance lives in each trainer worker's [`crate::bptt::BpttScratch`] and
 /// is reused across every layer, timestep and sample that worker processes —
 /// after warmup the backward performs no per-timestep heap allocation.
 #[derive(Debug, Clone, Default)]
 pub struct GradScratch {
     cols: Im2Col,
-    grad_cols: Im2Col,
     bt: Vec<f32>,
     panel: Vec<f32>,
     pool_first: Vec<u32>,
     taps: Vec<(u32, u32)>,
     got: Vec<f32>,
     accw: Vec<f32>,
+    col_mask: Vec<bool>,
+    col_active: Vec<u32>,
+    col_pos: Vec<(u32, u32)>,
+    go_panel: Vec<f32>,
+    grad_tile: Vec<f32>,
 }
 
 impl GradScratch {
@@ -341,16 +348,6 @@ pub fn conv2d_backward_into(
     let out_c = conv.out_channels();
     let spatial = out_shape[1] * out_shape[2];
     let coeffs = conv.coefficients_per_output();
-    let GradScratch {
-        cols,
-        grad_cols,
-        bt,
-        panel,
-        taps,
-        got,
-        accw,
-        ..
-    } = scratch;
 
     // grad_w [out_c, coeffs] = grad_out [out_c, spatial] * cols^T [spatial, coeffs]
     grads.weight.reset_to(conv.weight().shape(), 0.0);
@@ -362,7 +359,8 @@ pub fn conv2d_backward_into(
         // arrive grouped by spike in ascending tap order, so per weight cell
         // the output cells ascend: the matmul's accumulation order, minus
         // its zero products.
-        conv.gather_taps(input, taps)?;
+        conv.gather_taps(input, &mut scratch.taps)?;
+        let got = &mut scratch.got;
         got.clear();
         got.resize(spatial * out_c, 0.0);
         for (oc, row) in grad_output.as_slice().chunks_exact(spatial).enumerate() {
@@ -370,32 +368,33 @@ pub fn conv2d_backward_into(
                 got[s * out_c + oc] = v;
             }
         }
+        let accw = &mut scratch.accw;
         accw.clear();
         accw.resize(coeffs * out_c, 0.0);
-        for &(p, s) in taps.iter() {
+        for &(p, s) in scratch.taps.iter() {
             let wrow = &mut accw[p as usize * out_c..(p as usize + 1) * out_c];
-            let grow = &got[s as usize * out_c..(s as usize + 1) * out_c];
+            let grow = &scratch.got[s as usize * out_c..(s as usize + 1) * out_c];
             for (a, &g) in wrow.iter_mut().zip(grow.iter()) {
                 *a += g;
             }
         }
         let w_out = grads.weight.as_mut_slice();
-        for (p, wrow) in accw.chunks_exact(out_c).enumerate() {
+        for (p, wrow) in scratch.accw.chunks_exact(out_c).enumerate() {
             for (oc, &v) in wrow.iter().enumerate() {
                 w_out[oc * coeffs + p] = v;
             }
         }
     } else {
-        conv.lower_plane_into(input, cols)?;
+        conv.lower_plane_into(input, &mut scratch.cols)?;
         matmul_a_bt_to_with(
             grad_output.as_slice(),
-            &cols.data,
+            &scratch.cols.data,
             out_c,
             spatial,
             coeffs,
             grads.weight.as_mut_slice(),
-            bt,
-            panel,
+            &mut scratch.bt,
+            &mut scratch.panel,
         );
     }
     conv_bias_and_input_grads(
@@ -403,7 +402,7 @@ pub fn conv2d_backward_into(
         input.shape(),
         grad_output,
         &out_shape,
-        grad_cols,
+        scratch,
         grads,
         need_input,
     )
@@ -464,28 +463,125 @@ pub fn conv2d_backward_cached(
         input_shape,
         grad_output,
         &out_shape,
-        &mut scratch.grad_cols,
+        scratch,
         grads,
         need_input,
     )
 }
 
+/// The fused, event-aware input-gradient kernel of the convolution backward:
+/// computes `grad_input = col2im(Wᵀ · grad_out)` in one pass, writing into
+/// the caller-owned `grad_input` tensor.
+///
+/// Three exploits over the unfused [`matmul_at_b`] + [`Tensor::col2im`]
+/// reference, all bit-safe:
+///
+/// * **Cached `Wᵀ`** — the matmul's left operand is the layer's cached
+///   transposed filter bank ([`Conv2d::transposed_weight`], warmed once per
+///   batch by [`crate::bptt::Bptt::prepare`]), so the transposed-weight
+///   product runs the blocked row-tiled [`matmul_to_with`] micro-kernel
+///   instead of the scalar `matmul_at_b` loop — no per-call transpose.
+/// * **All-zero gradient columns are skipped** — one scan of `grad_output`
+///   finds the output cells whose gradient is zero across every channel.
+///   Such columns arise from the event structure of the backward itself: the
+///   pool backward routes gradient only to each window's first spike (taken
+///   from the stored [`SpikePlane`] active lists), and the final timestep
+///   has no β-carry to densify it, so whole columns of the incoming frame
+///   are exact zeros. Their products are all `±0.0`, which a sum accumulated
+///   from `+0.0` can never observe, so dropping them is bitwise-neutral.
+/// * **Fusion** — the surviving columns are packed once, multiplied four
+///   weight rows at a time, and each finished row tile is scattered straight
+///   into the input-gradient plane in col2im's exact `(channel, ky, kx, oy,
+///   ox)` accumulation order: the `[coeffs, spatial]` gradient-column matrix
+///   is never materialised.
+///
+/// **Bitwise identical** to the retained dense reference (the
+/// `matmul_at_b` + `col2im` tail of [`conv2d_backward`]) on the finite
+/// gradients the training path produces — enforced by the proptests in this
+/// module.
+///
+/// # Errors
+///
+/// Returns [`SnnError::ShapeMismatch`] if `grad_output` does not match the
+/// layer's output shape for `input_shape`.
+pub fn conv2d_input_grad_into(
+    conv: &Conv2d,
+    input_shape: &[usize],
+    grad_output: &Tensor,
+    scratch: &mut GradScratch,
+    grad_input: &mut Tensor,
+) -> Result<(), SnnError> {
+    let out_shape = conv.output_shape(input_shape)?;
+    if grad_output.shape() != out_shape {
+        return Err(SnnError::shape(
+            &out_shape,
+            grad_output.shape(),
+            "conv2d_input_grad grad_output",
+        ));
+    }
+    let spatial = out_shape[1] * out_shape[2];
+    let go = grad_output.as_slice();
+    // One pass over the gradient frame marks every output cell that carries
+    // gradient in at least one channel; the fused kernel only computes and
+    // scatters those columns.
+    let mask = &mut scratch.col_mask;
+    mask.clear();
+    mask.resize(spatial, false);
+    for row in go.chunks_exact(spatial) {
+        for (m, &v) in mask.iter_mut().zip(row.iter()) {
+            *m |= v != 0.0;
+        }
+    }
+    let active = &mut scratch.col_active;
+    active.clear();
+    active.extend(
+        mask.iter()
+            .enumerate()
+            .filter_map(|(s, &m)| m.then_some(s as u32)),
+    );
+    // Shape the output buffer only when it changes (between layers); the
+    // kernel overwrites every cell, so re-zeroing it per timestep here would
+    // just double the memset.
+    if grad_input.shape() != input_shape {
+        grad_input.reset_to(input_shape, 0.0);
+    }
+    let k = conv.kernel();
+    matmul_scatter_col2im(
+        conv.transposed_weight(),
+        go,
+        active,
+        conv.out_channels(),
+        spatial,
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        (k, k),
+        conv.stride(),
+        conv.padding(),
+        out_shape[2],
+        &mut scratch.go_panel,
+        &mut scratch.col_pos,
+        &mut scratch.grad_tile,
+        grad_input.as_mut_slice(),
+    );
+    Ok(())
+}
+
 /// Shared tail of the scratch-backed conv backward: the bias gradient and
-/// (when requested) the input gradient. Kernels and accumulation orders are
-/// exactly those of [`conv2d_backward`], so results stay bitwise identical.
+/// (when requested) the input gradient via the fused
+/// [`conv2d_input_grad_into`] kernel. Accumulation orders are exactly those
+/// of [`conv2d_backward`], so results stay bitwise identical.
 fn conv_bias_and_input_grads(
     conv: &Conv2d,
     input_shape: &[usize],
     grad_output: &Tensor,
     out_shape: &[usize; 3],
-    grad_cols: &mut Im2Col,
+    scratch: &mut GradScratch,
     grads: &mut ConvGrads,
     need_input: bool,
 ) -> Result<(), SnnError> {
-    let k = conv.kernel();
     let out_c = conv.out_channels();
     let spatial = out_shape[1] * out_shape[2];
-    let coeffs = conv.coefficients_per_output();
 
     // grad_b [out_c] = sum over spatial of grad_out.
     grads.bias.reset_to(&[out_c], 0.0);
@@ -496,31 +592,7 @@ fn conv_bias_and_input_grads(
     }
 
     if need_input {
-        // grad_cols [coeffs, spatial] = W^T [coeffs, out_c] * grad_out [out_c, spatial]
-        grad_cols.data.clear();
-        grad_cols.data.resize(coeffs * spatial, 0.0);
-        grad_cols.rows = coeffs;
-        grad_cols.cols = spatial;
-        grad_cols.out_h = out_shape[1];
-        grad_cols.out_w = out_shape[2];
-        matmul_at_b_to(
-            conv.weight().as_slice(),
-            grad_output.as_slice(),
-            out_c,
-            coeffs,
-            spatial,
-            &mut grad_cols.data,
-        );
-        Tensor::col2im_into(
-            grad_cols,
-            conv.in_channels(),
-            input_shape[1],
-            input_shape[2],
-            (k, k),
-            conv.stride(),
-            conv.padding(),
-            &mut grads.input,
-        )?;
+        conv2d_input_grad_into(conv, input_shape, grad_output, scratch, &mut grads.input)?;
     }
     Ok(())
 }
@@ -935,6 +1007,60 @@ mod tests {
             assert_bits_eq(&cached.weight, &reference.weight, "cached weight");
             assert_bits_eq(&cached.bias, &reference.bias, "cached bias");
             assert_bits_eq(&cached.input, &reference.input, "cached input");
+        }
+
+        /// The fused input-gradient kernel is bitwise identical to the
+        /// retained dense reference tail (`matmul_at_b` + `col2im` inside
+        /// [`conv2d_backward`]) across ragged geometries, strides and
+        /// paddings, for gradient frames with planted exact ±0.0 and whole
+        /// all-zero columns (the case the kernel skips), including the
+        /// everything-zero and nothing-zero extremes — with one scratch
+        /// reused across all cases.
+        #[test]
+        fn conv2d_input_grad_into_bitwise_equals_reference(
+            seed in 0_u64..500,
+            h in 3_usize..8,
+            w in 3_usize..8,
+            stride in 1_usize..3,
+            padding in 0_usize..2,
+            keep in proptest::collection::vec(any::<bool>(), 49),
+            all_mode in 0_usize..3,
+            negzero in any::<bool>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let conv = Conv2d::with_kaiming_init(2, 3, 3, stride, padding, &mut rng).unwrap();
+            let input_shape = [2_usize, h, w];
+            let out_shape = conv.output_shape(&input_shape).unwrap();
+            let spatial = out_shape[1] * out_shape[2];
+            // Gradient with whole output columns zeroed by `keep` (mode 0),
+            // or entirely kept/zeroed (modes 1/2).
+            let keep_col = |s: usize| match all_mode {
+                1 => true,
+                2 => false,
+                _ => keep[s % keep.len()],
+            };
+            let grad_out = Tensor::from_fn(&out_shape, |i| {
+                if keep_col(i % spatial) {
+                    grad_tensor(&[1], i).as_slice()[0]
+                } else if negzero {
+                    -0.0
+                } else {
+                    0.0
+                }
+            });
+            let input = Tensor::from_fn(&input_shape, |i| f32::from(i % 3 == 0));
+            let reference = conv2d_backward(&conv, &input, &grad_out).unwrap();
+            let mut scratch = GradScratch::new();
+            let mut grad_input = Tensor::default();
+            conv2d_input_grad_into(&conv, &input_shape, &grad_out, &mut scratch, &mut grad_input)
+                .unwrap();
+            assert_bits_eq(&grad_input, &reference.input, "fused input grad");
+            // Shape validation mirrors the reference.
+            let bad = Tensor::zeros(&[out_shape[0], out_shape[1] + 1, out_shape[2]]);
+            prop_assert!(conv2d_input_grad_into(
+                &conv, &input_shape, &bad, &mut scratch, &mut grad_input
+            )
+            .is_err());
         }
 
         /// Scratch-backed linear backward (event-aware gather weight

@@ -14,11 +14,21 @@
 //! The crate is organised as:
 //!
 //! * [`surrogate`] — surrogate derivatives of the spike non-linearity,
-//! * [`grad`] — layer-level backward passes (conv, linear, pooling),
+//! * [`grad`] — layer-level backward passes (conv, linear, pooling): an
+//!   allocating dense reference family plus the scratch-backed, event-aware
+//!   production `_into` family the hot loop runs (including the fused
+//!   [`grad::conv2d_input_grad_into`] input-gradient kernel), proven
+//!   bitwise identical to the reference,
 //! * [`loss`] — softmax cross-entropy over the population readout,
 //! * [`optim`] — SGD with momentum and Adam,
-//! * [`bptt`] — the time-unrolled forward/backward over a whole network,
-//! * [`trainer`] — the epoch/batch loop, QAT hook and evaluation helpers.
+//! * [`bptt`] — the time-unrolled forward/backward over a whole network:
+//!   event-driven sweeps over [`snn_core::spike::SpikePlane`] frames, the
+//!   long-lived [`bptt::BpttScratch`] (zero heap allocations per timestep
+//!   once warm), and per-batch preparation of the QAT weight copies and
+//!   transposed filter banks,
+//! * [`trainer`] — the epoch/batch loop over a persistent worker pool
+//!   (bitwise identical at every thread count), QAT hook and evaluation
+//!   helpers.
 
 pub mod bptt;
 pub mod grad;
@@ -30,7 +40,7 @@ pub mod surrogate;
 pub mod trainer;
 
 pub use bptt::{Bptt, BpttConfig, BpttScratch, NetworkGradients};
-pub use grad::{CachedLowering, GradScratch};
+pub use grad::{conv2d_input_grad_into, CachedLowering, GradScratch};
 pub use loss::{cross_entropy, softmax};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use surrogate::SurrogateKind;

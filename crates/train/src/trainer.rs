@@ -161,6 +161,32 @@ impl Trainer {
 
     /// Trains `network` on the training split of `data`.
     ///
+    /// # Example
+    ///
+    /// A one-epoch run on a tiny synthetic dataset (the kind the tests and
+    /// benches use):
+    ///
+    /// ```
+    /// use snn_core::network::{vgg9, Vgg9Config};
+    /// use snn_data::{SyntheticConfig, SyntheticDataset};
+    /// use snn_train::trainer::{TrainConfig, Trainer};
+    ///
+    /// # fn main() -> Result<(), snn_core::SnnError> {
+    /// let mut net = vgg9(&Vgg9Config::cifar10_small())?;
+    /// let data =
+    ///     SyntheticDataset::generate(SyntheticConfig::cifar10_like().scaled_down(16, 8, 4));
+    /// let mut cfg = TrainConfig::quick();
+    /// cfg.max_train_samples = Some(4);
+    /// cfg.batch_size = 2;
+    /// cfg.threads = 1;
+    /// let mut trainer = Trainer::new(cfg);
+    /// let report = trainer.fit(&mut net, &data)?;
+    /// assert_eq!(report.epoch_losses.len(), 1);
+    /// assert!(report.final_loss().is_finite());
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Propagates any shape/configuration error raised during the forward or

@@ -53,37 +53,50 @@ fn warm_backward_allocation_count_is_independent_of_timesteps() {
     let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.023).sin().abs());
     let mut scratch = BpttScratch::new();
 
-    let mut counts = Vec::new();
-    for timesteps in [2_usize, 4, 6] {
-        let encoder = Encoder::direct(timesteps);
-        let sweep = bptt
-            .forward_sweep(&net, &effective, &image, &encoder, 0)
-            .unwrap();
-        // First call warms the scratch for this timestep count; the second,
-        // measured call must only pay the per-sample constants.
-        bptt.backward_sweep(&net, &effective, &sweep, 3, &mut scratch)
-            .unwrap();
-        let count = count_allocs(|| {
+    // Both coding schemes drive the backward through different kernel mixes:
+    // direct coding replays an analog input frame (cached-lowering weight
+    // gradient, dense gradient frames), rate coding feeds binary stochastic
+    // frames (event-tap weight gradient). Both exercise the fused
+    // input-gradient kernel (`conv2d_input_grad_into`) — including its
+    // active-column detection, packing and scatter scratch — which must also
+    // stay allocation-free once warm.
+    for scheme in ["direct", "rate"] {
+        let mut counts = Vec::new();
+        for timesteps in [2_usize, 4, 6] {
+            let encoder = if scheme == "direct" {
+                Encoder::direct(timesteps)
+            } else {
+                Encoder::rate(timesteps)
+            };
+            let sweep = bptt
+                .forward_sweep(&net, &effective, &image, &encoder, 0)
+                .unwrap();
+            // First call warms the scratch for this timestep count; the
+            // second, measured call must only pay the per-sample constants.
             bptt.backward_sweep(&net, &effective, &sweep, 3, &mut scratch)
                 .unwrap();
-        });
-        counts.push(count);
-        // Repeatability at a fixed T: a third call costs exactly the same.
-        let again = count_allocs(|| {
-            bptt.backward_sweep(&net, &effective, &sweep, 3, &mut scratch)
-                .unwrap();
-        });
+            let count = count_allocs(|| {
+                bptt.backward_sweep(&net, &effective, &sweep, 3, &mut scratch)
+                    .unwrap();
+            });
+            counts.push(count);
+            // Repeatability at a fixed T: a third call costs exactly the same.
+            let again = count_allocs(|| {
+                bptt.backward_sweep(&net, &effective, &sweep, 3, &mut scratch)
+                    .unwrap();
+            });
+            assert_eq!(
+                count, again,
+                "warm backward alloc count unstable at {scheme} T={timesteps}"
+            );
+        }
         assert_eq!(
-            count, again,
-            "warm backward alloc count unstable at T={timesteps}"
+            counts[0], counts[1],
+            "{scheme} backward allocations grow with timesteps: {counts:?}"
+        );
+        assert_eq!(
+            counts[1], counts[2],
+            "{scheme} backward allocations grow with timesteps: {counts:?}"
         );
     }
-    assert_eq!(
-        counts[0], counts[1],
-        "backward allocations grow with timesteps: {counts:?}"
-    );
-    assert_eq!(
-        counts[1], counts[2],
-        "backward allocations grow with timesteps: {counts:?}"
-    );
 }

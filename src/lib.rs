@@ -409,6 +409,23 @@ pub struct Engine {
 
 impl Engine {
     /// Starts building an engine.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use snn::core::network::{vgg9, Vgg9Config};
+    /// use snn::{Engine, Precision};
+    ///
+    /// # fn main() -> Result<(), snn::SnnError> {
+    /// let engine = Engine::builder()
+    ///     .network(vgg9(&Vgg9Config::cifar10_small())?)
+    ///     .precision(Precision::Int4)
+    ///     .build()?; // auto-derives a one-core-per-layer hardware plan
+    /// assert_eq!(engine.precision(), Precision::Int4);
+    /// assert_eq!(engine.encoder().timesteps, 2); // paper default: direct, T=2
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn builder() -> EngineBuilder {
         EngineBuilder::default()
     }
