@@ -1,0 +1,230 @@
+//! Open-loop load generator for the `snn-serve` dynamic-batching core.
+//!
+//! Unlike the criterion benches, serving performance is a function of the
+//! *offered load*, so this harness drives `ServeCore<Engine>` with requests
+//! submitted on a fixed schedule (open loop: the generator never waits for
+//! responses, exactly like independent clients) and reports, per arm:
+//!
+//! * sustained throughput (completed requests / wall time, including drain),
+//! * shed count (`Overloaded` rejections at the queue's high-water mark),
+//! * end-to-end p50/p99 latency and the mean coalesced batch size, straight
+//!   from `ServeCore::stats`.
+//!
+//! Arms: offered loads × batching configs, always including the
+//! `max_batch = 1` baseline so the benefit of coalescing (the engine's
+//! worker threads fan a coalesced batch out; a batch of one cannot be
+//! parallelised) is measured rather than assumed. Full runs repeat each arm
+//! three times and report medians; `--test` runs one short pass per arm as a
+//! CI smoke.
+//!
+//! Run with: `cargo bench --bench serve_load`
+//! Machine-readable output: `BENCH_JSON=out.json cargo bench --bench
+//! serve_load` appends one JSON line per arm (see `BENCH_serve.json` for the
+//! checked-in history).
+
+use snn::core::encoding::Encoder;
+use snn::core::network::{vgg9, Vgg9Config};
+use snn::core::tensor::Tensor;
+use snn::serve::{InferenceRequest, ServeConfig, ServeCore, ServeError};
+use snn::{Engine, Precision};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Worker threads the engine fans a coalesced batch out over. Fixed (not
+/// `SNN_THREADS`) so arms are comparable across environments.
+const ENGINE_THREADS: usize = 4;
+
+struct Arm {
+    config_label: &'static str,
+    max_batch: usize,
+    offered_rps: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ArmResult {
+    completed_rps: f64,
+    shed: u64,
+    p50_us: u64,
+    p99_us: u64,
+    mean_batch: f64,
+}
+
+fn build_engine() -> Engine {
+    Engine::builder()
+        .network(vgg9(&Vgg9Config::cifar10_small()).expect("vgg9 builds"))
+        .encoder(Encoder::paper_direct())
+        .precision(Precision::Int4)
+        .hardware_allocation("serve-bench", &[1, 4, 2, 4, 2, 4, 4, 2, 1])
+        .threads(ENGINE_THREADS)
+        .build()
+        .expect("engine builds")
+}
+
+fn test_image(i: usize) -> Tensor {
+    Tensor::from_fn(&[3, 16, 16], move |p| {
+        (((p + 31 * i) as f32) * 0.017).sin().abs()
+    })
+}
+
+/// Sleeps (coarsely) then spins (finely) until `deadline`; open-loop pacing
+/// needs sub-millisecond cadence that `thread::sleep` alone cannot hold.
+fn pace_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let left = deadline - now;
+        if left > Duration::from_millis(1) {
+            std::thread::sleep(left - Duration::from_millis(1));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Drives one arm: open-loop submission for `duration`, then a wait on the
+/// last accepted request so the drain is inside the measured wall time (the
+/// queue is FIFO — once the last accepted request completes, all do).
+fn run_arm(engine: &Engine, arm: &Arm, duration: Duration) -> ArmResult {
+    let config = ServeConfig {
+        max_batch: arm.max_batch,
+        max_delay: Duration::from_millis(1),
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::start(engine.clone(), config).expect("core starts");
+    let interval = Duration::from_nanos(1_000_000_000 / arm.offered_rps.max(1));
+    let images: Vec<Tensor> = (0..16).map(test_image).collect();
+
+    let started = Instant::now();
+    let mut next = started;
+    let mut submitted = 0u64;
+    let mut shed = 0u64;
+    let mut last_handle = None;
+    while started.elapsed() < duration {
+        pace_until(next);
+        next += interval;
+        let image = images[(submitted % images.len() as u64) as usize].clone();
+        match core.submit(InferenceRequest::seeded(image, submitted)) {
+            Ok(handle) => {
+                submitted += 1;
+                last_handle = Some(handle);
+            }
+            Err(ServeError::Overloaded { .. }) => {
+                submitted += 1;
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    if let Some(handle) = last_handle {
+        let _ = handle.wait();
+    }
+    let elapsed = started.elapsed();
+    let stats = core.stats();
+    core.shutdown();
+    ArmResult {
+        completed_rps: stats.completed as f64 / elapsed.as_secs_f64(),
+        shed,
+        p50_us: stats.latency_p50_us,
+        p99_us: stats.latency_p99_us,
+        mean_batch: stats.mean_batch,
+    }
+}
+
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN medians"));
+    values[values.len() / 2]
+}
+
+fn append_bench_json(arm: &Arm, result: &ArmResult) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let line = format!(
+        "{{\"bench\":\"serve_load\",\"config\":\"{}\",\"offered_rps\":{},\"completed_rps\":{:.1},\"shed\":{},\"p50_us\":{},\"p99_us\":{},\"mean_batch\":{:.2}}}\n",
+        arm.config_label,
+        arm.offered_rps,
+        result.completed_rps,
+        result.shed,
+        result.p50_us,
+        result.p99_us,
+        result.mean_batch,
+    );
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut file) => {
+            if let Err(err) = file.write_all(line.as_bytes()) {
+                eprintln!("BENCH_JSON: could not append to {path}: {err}");
+            }
+        }
+        Err(err) => eprintln!("BENCH_JSON: could not open {path}: {err}"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (duration, reps, loads): (Duration, usize, &[u64]) = if smoke {
+        (Duration::from_millis(150), 1, &[2_000])
+    } else {
+        (Duration::from_secs(2), 3, &[1_000, 2_000, 4_000, 8_000])
+    };
+    let engine = build_engine();
+    // Warm the engine (first inference pays one-time lazy setup).
+    engine.session().run(&test_image(0)).expect("warmup run");
+
+    println!(
+        "serve_load: open-loop, {} engine threads, {duration:?}/arm, {reps} rep(s)",
+        ENGINE_THREADS
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>8} {:>10} {:>10} {:>10}",
+        "config", "offered_rps", "completed_rps", "shed", "p50_us", "p99_us", "mean_batch"
+    );
+    for &offered_rps in loads {
+        for (config_label, max_batch) in [("batch1", 1usize), ("batch8", 8usize)] {
+            let arm = Arm {
+                config_label,
+                max_batch,
+                offered_rps,
+            };
+            let runs: Vec<ArmResult> = (0..reps)
+                .map(|_| run_arm(&engine, &arm, duration))
+                .collect();
+            let result = ArmResult {
+                completed_rps: median(runs.iter().map(|r| r.completed_rps).collect()),
+                shed: {
+                    let mut sheds: Vec<u64> = runs.iter().map(|r| r.shed).collect();
+                    sheds.sort_unstable();
+                    sheds[sheds.len() / 2]
+                },
+                p50_us: {
+                    let mut v: Vec<u64> = runs.iter().map(|r| r.p50_us).collect();
+                    v.sort_unstable();
+                    v[v.len() / 2]
+                },
+                p99_us: {
+                    let mut v: Vec<u64> = runs.iter().map(|r| r.p99_us).collect();
+                    v.sort_unstable();
+                    v[v.len() / 2]
+                },
+                mean_batch: median(runs.iter().map(|r| r.mean_batch).collect()),
+            };
+            println!(
+                "{:<10} {:>12} {:>14.1} {:>8} {:>10} {:>10} {:>10.2}",
+                arm.config_label,
+                arm.offered_rps,
+                result.completed_rps,
+                result.shed,
+                result.p50_us,
+                result.p99_us,
+                result.mean_batch,
+            );
+            append_bench_json(&arm, &result);
+        }
+    }
+}

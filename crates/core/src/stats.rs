@@ -15,10 +15,197 @@
 //! computes those workloads from a [`crate::network::LayerTrace`]
 //! collection and offers the quantization-vs-sparsity comparisons used in
 //! Fig. 1.
+//!
+//! It also hosts [`LogHistogram`], a streaming fixed-log-bucket quantile
+//! tracker shared by the serving layer (p50/p99 request latency) and, by
+//! design, future per-session distribution-drift trackers.
 
 use crate::network::LayerTrace;
 use crate::spike::SpikeRecord;
 use serde::{Deserialize, Serialize};
+
+/// Sub-bucket resolution of [`LogHistogram`]: each power-of-two octave is
+/// split into `2^SUB_BITS` linear sub-buckets, bounding the relative
+/// quantile error at `2^-SUB_BITS` (≈3.2%).
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range: the exact region
+/// (`v < 2^SUB_BITS`) plus `64 - SUB_BITS` octaves of `SUB_BUCKETS` each.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// A streaming log-bucketed histogram with bounded-relative-error quantiles.
+///
+/// Values (typically latencies in nanoseconds or microseconds — the unit is
+/// the caller's) are folded into a fixed array of `~1.9k` buckets: values
+/// below `2^5` land in exact unit buckets, larger values in one of 32 linear
+/// sub-buckets per power-of-two octave. Recording is an index computation
+/// plus a counter increment — **no allocation, no branching on data size** —
+/// so it is safe inside a serving hot path, and [`LogHistogram::quantile`]
+/// is within a `2^-5` relative error of the true order statistic (proven
+/// against a sorted-vector oracle in this module's tests).
+///
+/// Two histograms fold together with [`LogHistogram::merge`], so per-worker
+/// trackers can be aggregated without locking the hot path. The same
+/// structure is intended for distribution-drift tracking (per-layer
+/// spike-rate distributions) as much as for latency.
+///
+/// # Example
+///
+/// ```
+/// use snn_core::stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for us in [120_u64, 80, 95, 3000, 110] {
+///     h.record(us);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 3000);
+/// // p50 is within 3.2% of the true median (110):
+/// let p50 = h.quantile(0.5);
+/// assert!((p50 as f64 - 110.0).abs() <= 110.0 / 32.0 + 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram. The one-off bucket-array allocation
+    /// happens here; recording never allocates.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of a value.
+    fn index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros(); // >= SUB_BITS here
+        let sub = (value >> (octave - SUB_BITS)) as usize & (SUB_BUCKETS - 1);
+        (octave - SUB_BITS + 1) as usize * SUB_BUCKETS + sub
+    }
+
+    /// Inclusive upper bound of the values mapping to bucket `index`.
+    fn bucket_upper(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let octave = (index / SUB_BUCKETS) as u32 + SUB_BITS - 1;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let width = 1u64 << (octave - SUB_BITS);
+        (SUB_BUCKETS as u64 + sub)
+            .saturating_mul(width)
+            .saturating_add(width - 1)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`std::time::Duration`] in whole nanoseconds (saturating at
+    /// `u64::MAX`, i.e. after ~584 years).
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (`0` when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (`0.0` when empty). Exact — the running
+    /// sum is kept outside the buckets.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`): an upper bound on the
+    /// smallest recorded value `v` such that at least `ceil(q · count)`
+    /// recorded values are `≤ v`, within one bucket width (relative error
+    /// `≤ 2^-5`). Returns `0` when empty; `quantile(1.0)` is the exact
+    /// maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one (equivalent to having recorded
+    /// both value streams into a single histogram).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all recorded values without releasing the bucket array.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
 
 /// Workload of one weight layer as defined by Eq. 3.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -279,6 +466,111 @@ mod tests {
         let variant = SpikeRecord::new(1);
         let cmp = SparsityComparison::new("a", &base, "b", &variant);
         assert_eq!(cmp.spike_reduction_percent(), 0.0);
+    }
+
+    /// Sorted-vector oracle for the `q`-quantile under the histogram's
+    /// definition (smallest value with at least `ceil(q·n)` values ≤ it).
+    fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    fn assert_quantiles_close(h: &LogHistogram, sorted: &[u64]) {
+        for &q in &[0.0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let got = h.quantile(q);
+            let want = oracle_quantile(sorted, q);
+            // One log-bucket of relative slack (2^-5), plus 1 for the
+            // exact-integer region.
+            let slack = want / 32 + 1;
+            assert!(
+                got >= want.saturating_sub(slack) && got <= want + slack,
+                "q={q}: histogram {got} vs oracle {want} (slack {slack})"
+            );
+        }
+    }
+
+    #[test]
+    fn log_histogram_matches_oracle_on_log_uniform_values() {
+        // Deterministic SplitMix-style stream spanning ~9 decades.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        let mut h = LogHistogram::new();
+        let mut values = Vec::new();
+        for _ in 0..10_000 {
+            let magnitude = next() % 30; // exponent in [0, 30)
+            let v = (next() % 1000) << magnitude;
+            h.record(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), values[0]);
+        assert_eq!(h.max(), *values.last().unwrap());
+        let exact_mean = values.iter().map(|&v| v as u128).sum::<u128>() as f64 / 10_000.0;
+        assert!((h.mean() - exact_mean).abs() < 1e-6 * exact_mean.max(1.0));
+        assert_quantiles_close(&h, &values);
+    }
+
+    #[test]
+    fn log_histogram_is_exact_below_32() {
+        let mut h = LogHistogram::new();
+        let values: Vec<u64> = (0..32).flat_map(|v| std::iter::repeat_n(v, 3)).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for &q in &[0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(h.quantile(q), oracle_quantile(&values, q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_combined_stream() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut combined = LogHistogram::new();
+        for i in 0..500u64 {
+            let v = i * i * 37 + 11;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn log_histogram_empty_and_reset() {
+        let mut h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(42);
+        h.record_duration(std::time::Duration::from_nanos(7));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 7);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h, LogHistogram::new());
+    }
+
+    #[test]
+    fn log_histogram_handles_extreme_values() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,636 @@
+//! The transport-agnostic serving core: dynamic batching over a bounded
+//! queue, dedicated model workers, and streaming latency statistics.
+//!
+//! # Ownership model
+//!
+//! ```text
+//!  acceptors (any thread)          worker threads (N = ServeConfig::workers)
+//!  ─────────────────────           ──────────────────────────────────────────
+//!  submit(request) ──try_push──▶  BoundedQueue ──pop_batch──▶ [r0 r1 .. rk]
+//!      │     (never blocks;                     (coalesce ≤ max_batch or
+//!      │      sheds Overloaded)                  flush at max_delay)
+//!      ▼                                             │ Runner::run_batch
+//!  ResponseHandle ◀──────────── per-request slots ◀──┘ (owns the model
+//!      .wait()                                          session; results
+//!                                                       land in order)
+//! ```
+//!
+//! The model is owned by the workers: each worker thread builds its own
+//! [`ModelRunner`] from the shared [`ServeModel`] at startup (mirroring the
+//! per-worker `RunState` of `Session::run_batch`) and drains the queue until
+//! shutdown. Requests never share mutable state; responses travel back
+//! through one-shot slots.
+//!
+//! # Determinism
+//!
+//! Batching is a *scheduling* decision, never a numerical one: every request
+//! carries its own seed, and a conforming [`ModelRunner`] (the engine-backed
+//! one in the `snn` facade runs `Session::run_batch_with_seeds`) produces
+//! bitwise-identical results whether a request is served alone or coalesced
+//! into any batch, in any position, at any worker/thread count.
+
+use crate::error::ServeError;
+use crate::queue::{BoundedQueue, PushRefusal};
+use serde::Serialize;
+use snn_accel::accelerator::InferenceReport;
+use snn_core::network::LayerTrace;
+use snn_core::spike::SpikeRecord;
+use snn_core::stats::LogHistogram;
+use snn_core::tensor::Tensor;
+use snn_core::SnnError;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One inference request: the input image plus the encoder seed it must run
+/// under. The seed travels with the request so that coalescing requests into
+/// a batch cannot change any result (see the module docs on determinism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceRequest {
+    /// The input tensor (e.g. `[C, H, W]` image planes).
+    pub image: Tensor,
+    /// Encoder seed for this request (only stochastic encoders consume it;
+    /// deterministic direct coding ignores the value but the contract is
+    /// uniform).
+    pub seed: u64,
+}
+
+impl InferenceRequest {
+    /// Builds a request with seed 0.
+    pub fn new(image: Tensor) -> Self {
+        InferenceRequest { image, seed: 0 }
+    }
+
+    /// Builds a request with an explicit seed.
+    pub fn seeded(image: Tensor, seed: u64) -> Self {
+        InferenceRequest { image, seed }
+    }
+}
+
+/// One inference result, mirroring the facade's `RunReport`: classification
+/// output, spike traces, and (when the model computes one) the accelerator's
+/// hardware estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceResult {
+    /// Per-class scores.
+    pub logits: Vec<f32>,
+    /// Index of the predicted class.
+    pub prediction: usize,
+    /// Per-layer spike record (summed over timesteps).
+    pub record: SpikeRecord,
+    /// Detailed per-layer traces.
+    pub traces: Vec<LayerTrace>,
+    /// Number of timesteps simulated.
+    pub timesteps: usize,
+    /// The accelerator's latency/energy/resource estimate, if the model
+    /// produces one (stub models in tests may not).
+    pub hardware: Option<InferenceReport>,
+}
+
+impl InferenceResult {
+    /// Builds a minimal result from logits alone (prediction = argmax, no
+    /// traces, no hardware estimate). Intended for stub models in tests and
+    /// examples.
+    pub fn from_logits(logits: Vec<f32>) -> Self {
+        let prediction = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        InferenceResult {
+            logits,
+            prediction,
+            record: SpikeRecord::new(0),
+            traces: Vec::new(),
+            timesteps: 0,
+            hardware: None,
+        }
+    }
+}
+
+/// The per-worker execution handle: owns whatever mutable state one worker
+/// needs (the engine-backed runner owns a `Session`) and runs coalesced
+/// batches.
+pub trait ModelRunner: Send {
+    /// Runs one coalesced batch and returns one result per request, in
+    /// request order. Implementations must attribute failures per request
+    /// (a malformed request must not fail its batch neighbours) and must be
+    /// batching-invariant: request `i`'s result depends only on
+    /// `(requests[i].image, requests[i].seed)`.
+    fn run_batch(
+        &mut self,
+        requests: Vec<InferenceRequest>,
+    ) -> Vec<Result<InferenceResult, SnnError>>;
+}
+
+/// A servable model: cheap to share across worker threads, vending one
+/// [`ModelRunner`] per worker.
+pub trait ServeModel: Send + Sync + 'static {
+    /// The per-worker runner type.
+    type Runner: ModelRunner + 'static;
+
+    /// Builds one worker's runner (called once per worker thread at
+    /// startup).
+    fn runner(&self) -> Self::Runner;
+}
+
+/// Configuration of [`ServeCore`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest number of queued requests coalesced into one model batch
+    /// (default 8).
+    pub max_batch: usize,
+    /// Latency budget of the batcher: once the first request of a batch has
+    /// been picked up, the batch is flushed after at most this long even if
+    /// it is not full (default 2 ms).
+    pub max_delay: Duration,
+    /// Hard bound on the request queue (default 128). The queue can never
+    /// hold more than this many requests.
+    pub queue_capacity: usize,
+    /// Load-shedding threshold: submissions are rejected with
+    /// [`ServeError::Overloaded`] once the queue depth reaches this mark
+    /// (default: `queue_capacity`). Must be `1..=queue_capacity`.
+    pub high_water: Option<usize>,
+    /// Number of batch worker threads (default 1 — the engine-backed runner
+    /// already fans a batch out over the engine's own worker threads).
+    /// Resolved through the shared `snn_core::resolve_threads` clamp rule.
+    pub workers: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 128,
+            high_water: None,
+            workers: Some(1),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration, resolving defaults.
+    fn validated(&self) -> Result<(usize, usize), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::Model(SnnError::config(
+                "max_batch",
+                "dynamic batches must hold at least one request",
+            )));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::Model(SnnError::config(
+                "queue_capacity",
+                "the request queue must hold at least one request",
+            )));
+        }
+        let high_water = self.high_water.unwrap_or(self.queue_capacity);
+        if high_water == 0 || high_water > self.queue_capacity {
+            return Err(ServeError::Model(SnnError::config(
+                "high_water",
+                format!(
+                    "the shedding threshold must be in 1..={} (the queue capacity), got {high_water}",
+                    self.queue_capacity
+                ),
+            )));
+        }
+        // `workers: Some(n)` goes through the shared thread-count clamp rule
+        // (`snn_core::resolve_threads`); `None` means one worker, NOT the
+        // machine parallelism — the engine-backed runner parallelises inside
+        // the batch already, and stacking both oversubscribes.
+        let workers = match self.workers {
+            Some(n) => snn_core::resolve_threads(Some(n)),
+            None => 1,
+        };
+        Ok((high_water, workers))
+    }
+}
+
+/// A completed request as seen by the submitter: the model result plus the
+/// serving-side timing of this request's journey through the queue and
+/// batcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedResponse {
+    /// The model's result.
+    pub result: InferenceResult,
+    /// Microseconds spent queued before a worker picked the request up.
+    pub queued_us: u64,
+    /// Microseconds the model spent on the coalesced batch containing this
+    /// request.
+    pub batch_us: u64,
+    /// Size of the coalesced batch this request ran in.
+    pub batch_size: usize,
+}
+
+/// One-shot completion slot shared by a queued job and its
+/// [`ResponseHandle`].
+#[derive(Debug)]
+struct ResponseSlot {
+    state: Mutex<Option<Result<ServedResponse, ServeError>>>,
+    done: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, value: Result<ServedResponse, ServeError>) {
+        let mut state = self.state.lock().expect("response slot poisoned");
+        if state.is_none() {
+            *state = Some(value);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Handle on a submitted request; blocks on [`ResponseHandle::wait`] until a
+/// worker completes it.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    slot: Arc<ResponseSlot>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request completes and returns its response.
+    pub fn wait(self) -> Result<ServedResponse, ServeError> {
+        let mut state = self.slot.state.lock().expect("response slot poisoned");
+        loop {
+            if let Some(value) = state.take() {
+                return value;
+            }
+            state = self.slot.done.wait(state).expect("response slot poisoned");
+        }
+    }
+
+    /// Like [`ResponseHandle::wait`] with a timeout; returns `Err(self)` so
+    /// the caller can keep waiting if the request has not completed yet.
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<ServedResponse, ServeError>, Self> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.slot.state.lock().expect("response slot poisoned");
+        loop {
+            if let Some(value) = state.take() {
+                return Ok(value);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(state);
+                return Err(self);
+            }
+            let (next, _) = self
+                .slot
+                .done
+                .wait_timeout(state, deadline - now)
+                .expect("response slot poisoned");
+            state = next;
+        }
+    }
+}
+
+/// A queued unit of work: the request plus its completion slot. If an armed
+/// ticket is dropped without being completed (worker panic, core teardown),
+/// the waiter is released with [`ServeError::ShuttingDown`] instead of
+/// hanging.
+#[derive(Debug)]
+struct Ticket {
+    slot: Arc<ResponseSlot>,
+    enqueued: Instant,
+    armed: bool,
+}
+
+impl Ticket {
+    fn new(slot: Arc<ResponseSlot>) -> Self {
+        Ticket {
+            slot,
+            enqueued: Instant::now(),
+            armed: true,
+        }
+    }
+
+    fn complete(mut self, value: Result<ServedResponse, ServeError>) {
+        self.slot.fill(value);
+        self.armed = false;
+    }
+
+    /// Defuses the drop-guard for a ticket that was never accepted into the
+    /// queue (its handle is never returned, so nobody is waiting).
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if self.armed {
+            self.slot.fill(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    request: InferenceRequest,
+    ticket: Ticket,
+}
+
+/// Aggregate counters and latency quantiles of a [`ServeCore`], snapshotted
+/// by [`ServeCore::stats`]. Latencies are end-to-end (submit → completion)
+/// in microseconds, tracked by the `snn-core` [`LogHistogram`] (relative
+/// quantile error ≤ 2⁻⁵).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests shed with [`ServeError::Overloaded`].
+    pub rejected: u64,
+    /// Requests that reached the model and failed.
+    pub model_errors: u64,
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Largest coalesced batch.
+    pub peak_batch: usize,
+    /// Mean coalesced batch size.
+    pub mean_batch: f64,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// Largest queue depth ever observed (never exceeds the configured
+    /// capacity, by construction).
+    pub peak_queue_depth: usize,
+    /// Median end-to-end latency in microseconds.
+    pub latency_p50_us: u64,
+    /// 99th-percentile end-to-end latency in microseconds.
+    pub latency_p99_us: u64,
+    /// Maximum end-to-end latency in microseconds.
+    pub latency_max_us: u64,
+    /// Mean end-to-end latency in microseconds.
+    pub latency_mean_us: f64,
+    /// Median queue wait in microseconds.
+    pub queue_p50_us: u64,
+    /// 99th-percentile queue wait in microseconds.
+    pub queue_p99_us: u64,
+}
+
+#[derive(Debug)]
+struct StatsState {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    model_errors: u64,
+    batches: u64,
+    peak_batch: usize,
+    coalesced: u64,
+    latency: LogHistogram,
+    queue_wait: LogHistogram,
+}
+
+impl StatsState {
+    fn new() -> Self {
+        StatsState {
+            submitted: 0,
+            completed: 0,
+            rejected: 0,
+            model_errors: 0,
+            batches: 0,
+            peak_batch: 0,
+            coalesced: 0,
+            latency: LogHistogram::new(),
+            queue_wait: LogHistogram::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CoreShared {
+    queue: BoundedQueue<Job>,
+    high_water: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    stats: Mutex<StatsState>,
+}
+
+/// The dynamic-batching serving core. Generic over the [`ServeModel`] it
+/// serves; the `snn` facade implements the trait for its `Engine`.
+///
+/// See the [module docs](self) for the ownership diagram and the
+/// determinism contract.
+#[derive(Debug)]
+pub struct ServeCore<M: ServeModel> {
+    shared: Arc<CoreShared>,
+    model: Arc<M>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<M: ServeModel> ServeCore<M> {
+    /// Starts the core: validates the configuration and launches the worker
+    /// threads, each owning one [`ModelRunner`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a config error for a zero `max_batch`/`queue_capacity` or an
+    /// out-of-range `high_water`.
+    pub fn start(model: M, config: ServeConfig) -> Result<Self, ServeError> {
+        let (high_water, workers) = config.validated()?;
+        let shared = Arc::new(CoreShared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            high_water,
+            max_batch: config.max_batch,
+            max_delay: config.max_delay,
+            stats: Mutex::new(StatsState::new()),
+        });
+        let model = Arc::new(model);
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let model = Arc::clone(&model);
+                std::thread::Builder::new()
+                    .name(format!("snn-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &*model))
+                    .expect("failed to spawn serve worker thread")
+            })
+            .collect();
+        Ok(ServeCore {
+            shared,
+            model,
+            workers: handles,
+        })
+    }
+
+    /// Submits a request. **Never blocks**: the request is either queued
+    /// (returning a [`ResponseHandle`] to wait on) or refused immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] once the queue depth reaches the
+    /// high-water mark, [`ServeError::ShuttingDown`] after
+    /// [`ServeCore::shutdown`].
+    pub fn submit(&self, request: InferenceRequest) -> Result<ResponseHandle, ServeError> {
+        let slot = Arc::new(ResponseSlot::new());
+        let job = Job {
+            request,
+            ticket: Ticket::new(Arc::clone(&slot)),
+        };
+        match self.shared.queue.try_push(job, self.shared.high_water) {
+            Ok(_) => {
+                self.shared.stats.lock().expect("stats poisoned").submitted += 1;
+                Ok(ResponseHandle { slot })
+            }
+            Err((job, refusal)) => {
+                // The refused ticket must not trip its drop-guard into a
+                // spurious ShuttingDown fill on the handle we never return.
+                job.ticket.disarm();
+                match refusal {
+                    PushRefusal::Full { depth } => {
+                        self.shared.stats.lock().expect("stats poisoned").rejected += 1;
+                        Err(ServeError::Overloaded {
+                            depth,
+                            limit: self.shared.high_water,
+                        })
+                    }
+                    PushRefusal::Closed => Err(ServeError::ShuttingDown),
+                }
+            }
+        }
+    }
+
+    /// Convenience: [`ServeCore::submit`] then [`ResponseHandle::wait`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeCore::submit`], plus any model error.
+    pub fn infer(&self, request: InferenceRequest) -> Result<ServedResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Snapshot of the serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        let stats = self.shared.stats.lock().expect("stats poisoned");
+        ServeStats {
+            submitted: stats.submitted,
+            completed: stats.completed,
+            rejected: stats.rejected,
+            model_errors: stats.model_errors,
+            batches: stats.batches,
+            peak_batch: stats.peak_batch,
+            mean_batch: if stats.batches == 0 {
+                0.0
+            } else {
+                stats.coalesced as f64 / stats.batches as f64
+            },
+            queue_depth: self.shared.queue.depth(),
+            peak_queue_depth: self.shared.queue.peak_depth(),
+            latency_p50_us: stats.latency.quantile(0.5),
+            latency_p99_us: stats.latency.quantile(0.99),
+            latency_max_us: stats.latency.max(),
+            latency_mean_us: stats.latency.mean(),
+            queue_p50_us: stats.queue_wait.quantile(0.5),
+            queue_p99_us: stats.queue_wait.quantile(0.99),
+        }
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Stops accepting requests, drains everything already queued (in-flight
+    /// requests complete; their waiters are answered), and joins the
+    /// workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            // A panicked worker already released its waiters through the
+            // ticket drop-guards; nothing more to do than surface it.
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl<M: ServeModel> Drop for ServeCore<M> {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shared.queue.close();
+            for handle in self.workers.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// One worker: build the runner, then drain coalesced batches until the
+/// queue closes and empties.
+fn worker_loop<M: ServeModel>(shared: &CoreShared, model: &M) {
+    let mut runner = model.runner();
+    let mut jobs: Vec<Job> = Vec::with_capacity(shared.max_batch);
+    let mut requests: Vec<InferenceRequest> = Vec::with_capacity(shared.max_batch);
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(shared.max_batch);
+    while shared
+        .queue
+        .pop_batch(&mut jobs, shared.max_batch, shared.max_delay)
+    {
+        requests.clear();
+        tickets.clear();
+        for job in jobs.drain(..) {
+            requests.push(job.request);
+            tickets.push(job.ticket);
+        }
+        let batch_size = requests.len();
+        let started = Instant::now();
+        let mut results = runner.run_batch(std::mem::take(&mut requests));
+        let batch_us = elapsed_us(started);
+        // A conforming runner answers every request; if one under-delivers,
+        // the unanswered tail gets a model error rather than a hang.
+        while results.len() < batch_size {
+            results.push(Err(SnnError::config(
+                "runner",
+                "model runner returned fewer results than requests",
+            )));
+        }
+        let mut stats = shared.stats.lock().expect("stats poisoned");
+        stats.batches += 1;
+        stats.coalesced += batch_size as u64;
+        stats.peak_batch = stats.peak_batch.max(batch_size);
+        for (ticket, result) in tickets.drain(..).zip(results) {
+            let queued_us = duration_us(started.saturating_duration_since(ticket.enqueued));
+            stats.latency.record(elapsed_us(ticket.enqueued));
+            stats.queue_wait.record(queued_us);
+            match result {
+                Ok(result) => {
+                    stats.completed += 1;
+                    ticket.complete(Ok(ServedResponse {
+                        result,
+                        queued_us,
+                        batch_us,
+                        batch_size,
+                    }));
+                }
+                Err(e) => {
+                    stats.model_errors += 1;
+                    ticket.complete(Err(ServeError::Model(e)));
+                }
+            }
+        }
+    }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    duration_us(since.elapsed())
+}

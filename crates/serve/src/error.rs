@@ -1,0 +1,104 @@
+//! Error type of the serving layer.
+//!
+//! Serving failures are *typed* so transports can map them onto wire-level
+//! status codes without string matching: [`ServeError::Overloaded`] becomes
+//! HTTP 503 (load shedding is an expected, recoverable condition the client
+//! should back off from), protocol errors become 400, model errors 422.
+
+use snn_core::SnnError;
+use std::fmt;
+
+/// Error returned by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request was shed because the queue was at its high-water mark.
+    /// The acceptor never blocks: callers get this immediately and are
+    /// expected to retry with backoff.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+        /// The configured shedding threshold that was hit.
+        limit: usize,
+    },
+    /// The core is shutting down (or has shut down) and no longer accepts
+    /// or can answer requests.
+    ShuttingDown,
+    /// The model rejected the request (shape mismatch, invalid config, …).
+    Model(SnnError),
+    /// The request bytes could not be decoded (malformed JSON or binary
+    /// frame). Decoding never panics and never over-allocates; it returns
+    /// this instead.
+    Protocol(String),
+    /// A transport-level I/O failure (socket read/write).
+    Io(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, limit } => write!(
+                f,
+                "server overloaded: queue depth {depth} at high-water mark {limit}"
+            ),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnnError> for ServeError {
+    fn from(e: SnnError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+impl ServeError {
+    /// Convenience constructor for [`ServeError::Protocol`].
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        ServeError::Protocol(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ServeError::Overloaded {
+            depth: 65,
+            limit: 64,
+        };
+        assert!(e.to_string().contains("65"));
+        assert!(e.to_string().contains("64"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+        assert!(ServeError::protocol("bad magic")
+            .to_string()
+            .contains("bad magic"));
+        let m: ServeError = SnnError::config("x", "y").into();
+        assert!(m.to_string().contains("model error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,443 @@
+//! A thin blocking HTTP/1.1 shim over [`ServeCore`], built directly on
+//! `std::net::TcpListener` — no async runtime, per the repo's vendored-deps
+//! policy. One acceptor thread, one thread per connection (keep-alive
+//! supported); all batching, backpressure and statistics live in the
+//! transport-agnostic core.
+//!
+//! # Routes
+//!
+//! | Route             | Body                                        | Status |
+//! |-------------------|---------------------------------------------|--------|
+//! | `GET /v1/healthz` | `ok`                                        | 200    |
+//! | `GET /v1/stats`   | [`ServeStats`](crate::ServeStats) as JSON   | 200    |
+//! | `POST /v1/infer`  | JSON request or binary frame (by `Content-Type`) | 200 |
+//!
+//! `POST /v1/infer` dispatches on `Content-Type`: `application/json` bodies
+//! go through the JSON codec, `application/octet-stream` bodies through the
+//! binary frame codec; the response mirrors the request format.
+//!
+//! # Status mapping
+//!
+//! | [`ServeError`] variant | HTTP status |
+//! |------------------------|-------------|
+//! | `Overloaded`           | 503 (with `Retry-After: 1`) — back off and retry |
+//! | `ShuttingDown`         | 503         |
+//! | `Protocol`             | 400         |
+//! | `Model`                | 422         |
+//! | `Io`                   | 500         |
+//!
+//! Error bodies are always JSON: `{"error": "<message>"}`.
+
+use crate::core::{ServeCore, ServeModel};
+use crate::error::ServeError;
+use crate::protocol;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard ceiling on request head (request line + headers) bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Hard ceiling on request body bytes (comfortably above the largest legal
+/// binary frame; hostile `Content-Length` values are refused before any
+/// allocation).
+const MAX_BODY: usize = 128 << 20;
+/// Poll interval for idle keep-alive connections, so connection threads
+/// notice shutdown promptly.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+struct HttpShared<M: ServeModel> {
+    core: ServeCore<M>,
+    stop: AtomicBool,
+}
+
+/// The blocking HTTP server. Owns the [`ServeCore`] it fronts; dropping the
+/// server (or calling [`HttpServer::shutdown`]) stops the acceptor, joins
+/// connection threads, and shuts the core down.
+pub struct HttpServer<M: ServeModel> {
+    shared: Arc<HttpShared<M>>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl<M: ServeModel> HttpServer<M> {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting connections on a dedicated thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the address cannot be bound.
+    pub fn bind(core: ServeCore<M>, addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(HttpShared {
+            core,
+            stop: AtomicBool::new(false),
+        });
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("snn-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &connections))
+                .map_err(|e| ServeError::Io(e.to_string()))?
+        };
+        Ok(HttpServer {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the underlying core's statistics.
+    pub fn stats(&self) -> crate::core::ServeStats {
+        self.shared.core.stats()
+    }
+
+    /// Stops accepting, joins the acceptor and all connection threads, and
+    /// shuts down the serving core (draining in-flight requests).
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept` with a throwaway connect.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = acceptor.join();
+        let handles =
+            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<M: ServeModel> Drop for HttpServer<M> {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop<M: ServeModel>(
+    listener: &TcpListener,
+    shared: &Arc<HttpShared<M>>,
+    connections: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("snn-serve-conn".to_string())
+            .spawn(move || {
+                let _ = serve_connection(stream, &shared);
+            })
+        {
+            let mut conns = connections.lock().expect("connection list poisoned");
+            // Opportunistically reap finished threads so long-lived servers
+            // do not accumulate handles.
+            conns.retain(|h| !h.is_finished());
+            conns.push(handle);
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    content_type: String,
+    keep_alive: bool,
+    body: Vec<u8>,
+}
+
+/// Reads one HTTP/1.1 request. Returns `Ok(None)` on clean EOF or shutdown
+/// while idle (no partial request buffered).
+fn read_request<M: ServeModel>(
+    stream: &mut TcpStream,
+    shared: &HttpShared<M>,
+) -> Result<Option<Request>, ServeError> {
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Phase 1: accumulate until the blank line ends the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(ServeError::protocol(format!(
+                "request head exceeds {MAX_HEAD} bytes"
+            )));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ServeError::protocol("connection closed mid-request"));
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if buf.is_empty() && shared.stop.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ServeError::protocol("request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(ServeError::protocol(format!(
+            "malformed request line: {request_line:?}"
+        )));
+    }
+    let mut content_length: usize = 0;
+    let mut content_type = String::new();
+    // HTTP/1.1 defaults to keep-alive.
+    let mut keep_alive = true;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| {
+                    ServeError::protocol(format!("invalid Content-Length {value:?}"))
+                })?;
+            }
+            "content-type" => content_type = value.to_ascii_lowercase(),
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(ServeError::protocol(format!(
+            "Content-Length {content_length} exceeds the {MAX_BODY}-byte ceiling"
+        )));
+    }
+    // Phase 2: the body is whatever followed the head plus further reads.
+    let mut body = buf.split_off(head_end + 4);
+    if body.len() > content_length {
+        return Err(ServeError::protocol(
+            "request body longer than Content-Length (pipelining is not supported)",
+        ));
+    }
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ServeError::protocol("connection closed mid-body")),
+            Ok(n) => {
+                if body.len() + n > content_length {
+                    return Err(ServeError::protocol(
+                        "request body longer than Content-Length (pipelining is not supported)",
+                    ));
+                }
+                body.extend_from_slice(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(Request {
+        method,
+        path,
+        content_type,
+        keep_alive,
+        body,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_line(status: u16) -> &'static str {
+    match status {
+        200 => "200 OK",
+        400 => "400 Bad Request",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        422 => "422 Unprocessable Entity",
+        503 => "503 Service Unavailable",
+        _ => "500 Internal Server Error",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Result<(), ServeError> {
+    let mut head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status_line(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if status == 503 {
+        head.push_str("Retry-After: 1\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Maps a [`ServeError`] onto its HTTP status (see the module docs).
+fn error_status(e: &ServeError) -> u16 {
+    match e {
+        ServeError::Overloaded { .. } | ServeError::ShuttingDown => 503,
+        ServeError::Protocol(_) => 400,
+        ServeError::Model(_) => 422,
+        ServeError::Io(_) => 500,
+    }
+}
+
+fn error_body(e: &ServeError) -> Vec<u8> {
+    let value = serde::Value::Obj(vec![(
+        "error".to_string(),
+        serde::Value::Str(e.to_string()),
+    )]);
+    serde_json::to_string(&value)
+        .unwrap_or_else(|_| "{\"error\":\"serialization failure\"}".to_string())
+        .into_bytes()
+}
+
+fn serve_connection<M: ServeModel>(
+    mut stream: TcpStream,
+    shared: &HttpShared<M>,
+) -> Result<(), ServeError> {
+    loop {
+        let request = match read_request(&mut stream, shared) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                // Best-effort error report; the connection is unusable after
+                // a framing failure either way.
+                let _ = write_response(
+                    &mut stream,
+                    error_status(&e),
+                    "application/json",
+                    &error_body(&e),
+                    false,
+                );
+                return Err(e);
+            }
+        };
+        let keep_alive = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/v1/healthz") => {
+                write_response(&mut stream, 200, "text/plain", b"ok", keep_alive)?;
+            }
+            ("GET", "/v1/stats") => {
+                let body = serde_json::to_string(&shared.core.stats())
+                    .unwrap_or_else(|_| "{}".to_string())
+                    .into_bytes();
+                write_response(&mut stream, 200, "application/json", &body, keep_alive)?;
+            }
+            ("POST", "/v1/infer") => {
+                let binary = request.content_type.contains("octet-stream");
+                let outcome = if binary {
+                    protocol::decode_frame_request(&request.body)
+                } else {
+                    protocol::decode_json_request(&request.body)
+                }
+                .and_then(|req| shared.core.infer(req));
+                match outcome {
+                    Ok(response) => {
+                        if binary {
+                            let body = protocol::encode_frame_response(&response);
+                            write_response(
+                                &mut stream,
+                                200,
+                                "application/octet-stream",
+                                &body,
+                                keep_alive,
+                            )?;
+                        } else {
+                            let body = protocol::encode_json_response(&response)?;
+                            write_response(
+                                &mut stream,
+                                200,
+                                "application/json",
+                                &body,
+                                keep_alive,
+                            )?;
+                        }
+                    }
+                    Err(e) => {
+                        write_response(
+                            &mut stream,
+                            error_status(&e),
+                            "application/json",
+                            &error_body(&e),
+                            keep_alive,
+                        )?;
+                    }
+                }
+            }
+            ("POST" | "GET", _) => {
+                let e = ServeError::protocol(format!("no such route: {}", request.path));
+                write_response(
+                    &mut stream,
+                    404,
+                    "application/json",
+                    &error_body(&e),
+                    keep_alive,
+                )?;
+            }
+            _ => {
+                let e = ServeError::protocol(format!("method {} not allowed", request.method));
+                write_response(
+                    &mut stream,
+                    405,
+                    "application/json",
+                    &error_body(&e),
+                    keep_alive,
+                )?;
+            }
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}

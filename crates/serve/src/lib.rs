@@ -1,0 +1,93 @@
+//! # snn-serve — dynamic-batching inference serving
+//!
+//! A transport-agnostic serving layer for the SNN accelerator engine:
+//! requests enter a bounded MPSC queue, dedicated worker threads coalesce
+//! them into dynamic batches (up to [`ServeConfig::max_batch`] requests, or
+//! whatever has arrived when the [`ServeConfig::max_delay`] latency budget
+//! expires — whichever comes first), and a one-shot response slot carries
+//! each result back to its submitter. Producers never block: once the queue
+//! depth reaches the high-water mark, submissions are shed immediately with
+//! the typed [`ServeError::Overloaded`] so callers can back off.
+//!
+//! The crate is generic over the model via the [`ServeModel`] /
+//! [`ModelRunner`] trait pair — it depends only on `snn-core` and
+//! `snn-accel`; the `snn` facade crate implements the traits for its
+//! `Engine` and re-exports this crate as `snn::serve`.
+//!
+//! ## Determinism
+//!
+//! Every request carries its own encoder seed, and a conforming runner
+//! computes request `i` from `(image_i, seed_i)` alone. Coalescing is
+//! therefore purely a scheduling decision: a request returns bitwise
+//! the same logits, spike traces and hardware estimate whether it was
+//! served alone or inside any batch, at any queue depth and worker count.
+//! The repo's serving determinism suite asserts exactly this against
+//! sequential `Session::run_seeded` calls.
+//!
+//! ## Layers
+//!
+//! - [`ServeCore`] — queue + batcher + workers + statistics (this is the
+//!   API most embedders want).
+//! - [`protocol`] — the JSON and length-prefixed binary wire codecs.
+//! - [`HttpServer`] — a thin blocking HTTP/1.1 shim on `std::net` exposing
+//!   `POST /v1/infer`, `GET /v1/stats` and `GET /v1/healthz`.
+//!
+//! ## Example
+//!
+//! Serving a stub model (the facade's `Engine` plugs in the same way):
+//!
+//! ```
+//! use snn_serve::{
+//!     InferenceRequest, InferenceResult, ModelRunner, ServeConfig, ServeCore, ServeModel,
+//! };
+//! use snn_core::tensor::Tensor;
+//! use snn_core::SnnError;
+//!
+//! /// Scores each class by a weighted sum of the input — deterministic in
+//! /// (image, seed), as the serving contract requires.
+//! struct ToyModel;
+//! struct ToyRunner;
+//!
+//! impl ModelRunner for ToyRunner {
+//!     fn run_batch(
+//!         &mut self,
+//!         requests: Vec<InferenceRequest>,
+//!     ) -> Vec<Result<InferenceResult, SnnError>> {
+//!         requests
+//!             .into_iter()
+//!             .map(|r| {
+//!                 let sum: f32 = r.image.as_slice().iter().sum();
+//!                 Ok(InferenceResult::from_logits(vec![sum, -sum]))
+//!             })
+//!             .collect()
+//!     }
+//! }
+//!
+//! impl ServeModel for ToyModel {
+//!     type Runner = ToyRunner;
+//!     fn runner(&self) -> ToyRunner {
+//!         ToyRunner
+//!     }
+//! }
+//!
+//! let core = ServeCore::start(ToyModel, ServeConfig::default()).unwrap();
+//! let image = Tensor::from_vec(vec![0.5, 1.5], &[2]).unwrap();
+//! let response = core.infer(InferenceRequest::seeded(image, 7)).unwrap();
+//! assert_eq!(response.result.prediction, 0);
+//! assert_eq!(response.result.logits, vec![2.0, -2.0]);
+//! assert!(response.batch_size >= 1);
+//! core.shutdown();
+//! ```
+
+pub mod core;
+pub mod error;
+pub mod http;
+pub mod protocol;
+mod queue;
+
+pub use crate::core::{
+    InferenceRequest, InferenceResult, ModelRunner, ResponseHandle, ServeConfig, ServeCore,
+    ServeModel, ServeStats, ServedResponse,
+};
+pub use crate::error::ServeError;
+pub use crate::http::HttpServer;

@@ -1,0 +1,325 @@
+//! Backpressure integration: a deliberately slow model stub, a burst of
+//! submissions beyond the queue's high-water mark, and the contract that
+//! (a) excess submissions are shed immediately with `Overloaded`, (b) every
+//! accepted request still completes, and (c) the observed queue depth never
+//! exceeds the configured bound.
+
+use snn_core::tensor::Tensor;
+use snn_core::SnnError;
+use snn_serve::{
+    InferenceRequest, InferenceResult, ModelRunner, ResponseHandle, ServeConfig, ServeCore,
+    ServeError, ServeModel,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A model whose every batch takes `delay`; counts batches and requests.
+struct SlowModel {
+    delay: Duration,
+    batches: Arc<AtomicUsize>,
+    served: Arc<AtomicUsize>,
+}
+
+struct SlowRunner {
+    delay: Duration,
+    batches: Arc<AtomicUsize>,
+    served: Arc<AtomicUsize>,
+}
+
+impl ModelRunner for SlowRunner {
+    fn run_batch(
+        &mut self,
+        requests: Vec<InferenceRequest>,
+    ) -> Vec<Result<InferenceResult, SnnError>> {
+        std::thread::sleep(self.delay);
+        self.batches.fetch_add(1, Ordering::SeqCst);
+        self.served.fetch_add(requests.len(), Ordering::SeqCst);
+        requests
+            .into_iter()
+            .map(|r| {
+                let sum: f32 = r.image.as_slice().iter().sum();
+                Ok(InferenceResult::from_logits(vec![sum, r.seed as f32]))
+            })
+            .collect()
+    }
+}
+
+impl ServeModel for SlowModel {
+    type Runner = SlowRunner;
+
+    fn runner(&self) -> SlowRunner {
+        SlowRunner {
+            delay: self.delay,
+            batches: Arc::clone(&self.batches),
+            served: Arc::clone(&self.served),
+        }
+    }
+}
+
+fn slow_model(delay_ms: u64) -> (SlowModel, Arc<AtomicUsize>, Arc<AtomicUsize>) {
+    let batches = Arc::new(AtomicUsize::new(0));
+    let served = Arc::new(AtomicUsize::new(0));
+    (
+        SlowModel {
+            delay: Duration::from_millis(delay_ms),
+            batches: Arc::clone(&batches),
+            served: Arc::clone(&served),
+        },
+        batches,
+        served,
+    )
+}
+
+fn request(i: usize) -> InferenceRequest {
+    InferenceRequest::seeded(
+        Tensor::from_vec(vec![i as f32, 1.0], &[2]).unwrap(),
+        i as u64,
+    )
+}
+
+#[test]
+fn burst_sheds_overloaded_while_inflight_completes() {
+    let (model, _batches, served) = slow_model(30);
+    let core = ServeCore::start(
+        model,
+        ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            queue_capacity: 8,
+            high_water: Some(6),
+            workers: Some(1),
+        },
+    )
+    .unwrap();
+
+    // Burst far past the high-water mark, faster than the 30 ms batches can
+    // drain. The worker may have already popped up to one batch, so the
+    // number of accepted requests is bounded by high_water + max_batch.
+    let mut handles: Vec<ResponseHandle> = Vec::new();
+    let mut rejections = 0usize;
+    for i in 0..40 {
+        match core.submit(request(i)) {
+            Ok(handle) => handles.push(handle),
+            Err(ServeError::Overloaded { depth, limit }) => {
+                assert_eq!(limit, 6);
+                assert!(depth >= 6, "shed below the high-water mark: {depth}");
+                rejections += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(
+        rejections >= 40 - (6 + 4),
+        "a 40-deep burst into a 6-high-water queue must shed (got {rejections} rejections)"
+    );
+    assert!(!handles.is_empty(), "some requests must be accepted");
+
+    // Every accepted request completes, with its own result.
+    let accepted = handles.len();
+    for handle in handles {
+        let response = handle.wait().expect("accepted request completes");
+        assert_eq!(response.result.logits.len(), 2);
+        assert!(response.batch_size >= 1 && response.batch_size <= 4);
+    }
+    assert_eq!(served.load(Ordering::SeqCst), accepted);
+
+    let stats = core.stats();
+    assert_eq!(stats.submitted as usize, accepted);
+    assert_eq!(stats.rejected as usize, rejections);
+    assert_eq!(stats.completed as usize, accepted);
+    // The hard bound holds at all times: peak depth never exceeds high_water
+    // (which itself never exceeds capacity).
+    assert!(
+        stats.peak_queue_depth <= 6,
+        "peak depth {} exceeded the high-water mark",
+        stats.peak_queue_depth
+    );
+    core.shutdown();
+}
+
+#[test]
+fn recovered_queue_accepts_again() {
+    let (model, _batches, _served) = slow_model(5);
+    let core = ServeCore::start(
+        model,
+        ServeConfig {
+            max_batch: 2,
+            max_delay: Duration::from_millis(1),
+            queue_capacity: 2,
+            workers: Some(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Fill to the brim; at least one of a fast triple must be shed.
+    let h0 = core.submit(request(0));
+    let h1 = core.submit(request(1));
+    let h2 = core.submit(request(2));
+    let h3 = core.submit(request(3));
+    let early: Vec<ResponseHandle> = [h0, h1, h2, h3].into_iter().flatten().collect();
+    for handle in early {
+        handle.wait().expect("early requests complete");
+    }
+
+    // After the queue drains, submissions are accepted again.
+    let response = core.infer(request(9)).expect("recovered queue accepts");
+    assert_eq!(response.result.logits[1], 9.0);
+    core.shutdown();
+}
+
+#[test]
+fn batches_coalesce_under_load() {
+    let (model, batches, served) = slow_model(10);
+    let core = ServeCore::start(
+        model,
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 64,
+            workers: Some(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // While the worker sleeps through batch 1, the next 16 submissions pile
+    // up and must coalesce into far fewer batches than requests.
+    let handles: Vec<ResponseHandle> = (0..17)
+        .map(|i| core.submit(request(i)).expect("queue holds the burst"))
+        .collect();
+    for handle in handles {
+        handle.wait().expect("completes");
+    }
+    assert_eq!(served.load(Ordering::SeqCst), 17);
+    let executed = batches.load(Ordering::SeqCst);
+    assert!(
+        executed < 17,
+        "17 queued requests must coalesce into fewer than 17 batches (got {executed})"
+    );
+    let stats = core.stats();
+    assert!(
+        stats.peak_batch >= 2,
+        "coalescing never produced a batch > 1"
+    );
+    assert!(stats.mean_batch > 1.0);
+    core.shutdown();
+}
+
+#[test]
+fn shutdown_drains_accepted_requests() {
+    let (model, _batches, served) = slow_model(10);
+    let core = ServeCore::start(
+        model,
+        ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            queue_capacity: 32,
+            workers: Some(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handles: Vec<ResponseHandle> = (0..10)
+        .map(|i| core.submit(request(i)).expect("accepted"))
+        .collect();
+    // Shut down with work still queued: every accepted request must still be
+    // answered (drain-then-stop), not dropped.
+    core.shutdown();
+    for handle in handles {
+        handle.wait().expect("drained during shutdown");
+    }
+    assert_eq!(served.load(Ordering::SeqCst), 10);
+}
+
+#[test]
+fn invalid_configs_are_rejected_at_start() {
+    for bad in [
+        ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        },
+        ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        },
+        ServeConfig {
+            queue_capacity: 8,
+            high_water: Some(9),
+            ..ServeConfig::default()
+        },
+        ServeConfig {
+            high_water: Some(0),
+            ..ServeConfig::default()
+        },
+    ] {
+        let (model, _, _) = slow_model(1);
+        match ServeCore::start(model, bad.clone()) {
+            Err(ServeError::Model(_)) => {}
+            Err(e) => panic!("config {bad:?} must be a config error, got {e:?}"),
+            Ok(_) => panic!("config {bad:?} must be rejected"),
+        }
+    }
+}
+
+#[test]
+fn per_request_failures_do_not_poison_neighbours() {
+    /// Fails exactly the requests whose seed is odd.
+    struct PickyModel;
+    struct PickyRunner;
+    impl ModelRunner for PickyRunner {
+        fn run_batch(
+            &mut self,
+            requests: Vec<InferenceRequest>,
+        ) -> Vec<Result<InferenceResult, SnnError>> {
+            requests
+                .into_iter()
+                .map(|r| {
+                    if r.seed % 2 == 1 {
+                        Err(SnnError::config("stub", "odd seeds are rejected"))
+                    } else {
+                        Ok(InferenceResult::from_logits(vec![r.seed as f32]))
+                    }
+                })
+                .collect()
+        }
+    }
+    impl ServeModel for PickyModel {
+        type Runner = PickyRunner;
+        fn runner(&self) -> PickyRunner {
+            PickyRunner
+        }
+    }
+
+    let core = ServeCore::start(
+        PickyModel,
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(5),
+            workers: Some(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handles: Vec<(usize, ResponseHandle)> = (0..8)
+        .map(|i| (i, core.submit(request(i)).expect("accepted")))
+        .collect();
+    for (i, handle) in handles {
+        match handle.wait() {
+            Ok(response) => {
+                assert_eq!(i % 2, 0, "odd request {i} should have failed");
+                assert_eq!(response.result.logits[0], i as f32);
+            }
+            Err(ServeError::Model(e)) => {
+                assert_eq!(i % 2, 1, "even request {i} should have succeeded");
+                assert!(e.to_string().contains("odd seeds"));
+            }
+            Err(e) => panic!("unexpected error for request {i}: {e}"),
+        }
+    }
+    let stats = core.stats();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.model_errors, 4);
+    core.shutdown();
+}

@@ -55,6 +55,7 @@
 pub use snn_accel as accel;
 pub use snn_core as core;
 pub use snn_data as data;
+pub use snn_serve as serve;
 pub use snn_train as train;
 
 pub use snn_accel::accelerator::{EstimatePlan, HybridAccelerator, InferenceReport, LayerPerf};
@@ -572,11 +573,46 @@ impl Session {
         images: &[Tensor],
         base_seed: u64,
     ) -> Result<BatchReport, SnnError> {
+        self.run_batch_inner(images, &|i| base_seed + i as u64)
+    }
+
+    /// Like [`Session::run_batch`] but image `i` uses the explicit
+    /// `seeds[i]`. This is the serving layer's entry point: requests arrive
+    /// with arbitrary per-request seeds, and running them as one coalesced
+    /// batch here is bitwise-identical to running each alone through
+    /// [`Session::run_seeded`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnnError::InvalidConfig`] when `seeds.len() != images.len()`;
+    /// otherwise same as [`Session::run_batch`].
+    pub fn run_batch_with_seeds(
+        &mut self,
+        images: &[Tensor],
+        seeds: &[u64],
+    ) -> Result<BatchReport, SnnError> {
+        if images.len() != seeds.len() {
+            return Err(SnnError::config(
+                "seeds",
+                format!("{} seeds provided for {} images", seeds.len(), images.len()),
+            ));
+        }
+        self.run_batch_inner(images, &|i| seeds[i])
+    }
+
+    /// Shared batch driver: `seed_for(i)` supplies image `i`'s encoder seed,
+    /// always indexed by the *global* image position so partitioning across
+    /// workers never changes results.
+    fn run_batch_inner(
+        &mut self,
+        images: &[Tensor],
+        seed_for: &(dyn Fn(usize) -> u64 + Sync),
+    ) -> Result<BatchReport, SnnError> {
         let workers = self.shared.threads.min(images.len()).max(1);
         if workers <= 1 {
             let mut reports = Vec::with_capacity(images.len());
             for (i, image) in images.iter().enumerate() {
-                reports.push(self.run_seeded(image, base_seed + i as u64)?);
+                reports.push(self.run_seeded(image, seed_for(i))?);
             }
             return Ok(Self::aggregate(reports));
         }
@@ -602,7 +638,7 @@ impl Session {
                             .iter()
                             .enumerate()
                             .map(|(j, image)| {
-                                let seed = base_seed + (w * chunk + j) as u64;
+                                let seed = seed_for(w * chunk + j);
                                 run_one(shared, state, image, seed)
                             })
                             .collect()
@@ -655,6 +691,68 @@ impl Session {
     pub fn engine(&self) -> Engine {
         Engine {
             shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// The engine-backed serving runner: one per serve worker, owning its own
+/// [`Session`]. A coalesced batch goes through
+/// [`Session::run_batch_with_seeds`], so serving inherits the batch path's
+/// bitwise determinism — a request's result is identical whether it was
+/// served alone or inside any coalesced batch.
+#[derive(Debug)]
+pub struct EngineRunner {
+    session: Session,
+}
+
+impl EngineRunner {
+    fn result_from_report(report: RunReport) -> serve::InferenceResult {
+        serve::InferenceResult {
+            logits: report.logits,
+            prediction: report.prediction,
+            record: report.record,
+            traces: report.traces,
+            timesteps: report.timesteps,
+            hardware: Some(report.hardware),
+        }
+    }
+}
+
+impl serve::ModelRunner for EngineRunner {
+    fn run_batch(
+        &mut self,
+        requests: Vec<serve::InferenceRequest>,
+    ) -> Vec<Result<serve::InferenceResult, SnnError>> {
+        let (images, seeds): (Vec<Tensor>, Vec<u64>) =
+            requests.into_iter().map(|r| (r.image, r.seed)).unzip();
+        match self.session.run_batch_with_seeds(&images, &seeds) {
+            Ok(batch) => batch
+                .reports
+                .into_iter()
+                .map(|report| Ok(Self::result_from_report(report)))
+                .collect(),
+            // The batch path reports only the first failure; re-run each
+            // request alone so errors are attributed per request and healthy
+            // batch neighbours still get their (bitwise-identical) results.
+            Err(_) => images
+                .iter()
+                .zip(&seeds)
+                .map(|(image, &seed)| {
+                    self.session
+                        .run_seeded(image, seed)
+                        .map(Self::result_from_report)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl serve::ServeModel for Engine {
+    type Runner = EngineRunner;
+
+    fn runner(&self) -> EngineRunner {
+        EngineRunner {
+            session: self.session(),
         }
     }
 }

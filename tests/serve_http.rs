@@ -1,0 +1,237 @@
+//! End-to-end coverage of the HTTP/1.1 shim over a real engine: JSON and
+//! binary inference round trips, the stats and health endpoints, status
+//! mapping for malformed bodies, and keep-alive reuse — all over a loopback
+//! socket on an ephemeral port.
+
+use snn::core::encoding::Encoder;
+use snn::core::network::{vgg9, Vgg9Config};
+use snn::core::tensor::Tensor;
+use snn::serve::protocol::{decode_frame_response, encode_frame_request};
+use snn::serve::{HttpServer, InferenceRequest, ServeConfig, ServeCore};
+use snn::{Engine, Precision};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn serve_engine() -> HttpServer<Engine> {
+    let engine = Engine::builder()
+        .network(vgg9(&Vgg9Config::cifar10_small()).unwrap())
+        .encoder(Encoder::direct(2))
+        .precision(Precision::Int4)
+        .hardware_allocation("http-test", &[1, 4, 2, 4, 2, 4, 4, 2, 1])
+        .threads(1)
+        .build()
+        .unwrap();
+    let core = ServeCore::start(
+        engine,
+        ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(2),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    HttpServer::bind(core, "127.0.0.1:0").unwrap()
+}
+
+fn test_image(i: usize) -> Tensor {
+    Tensor::from_fn(&[3, 16, 16], move |p| {
+        (((p + 97 * i) as f32) * 0.013).sin().abs()
+    })
+}
+
+/// Minimal HTTP client: one request over a fresh (or given) connection.
+fn http_roundtrip(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+) -> (u16, Vec<u8>) {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    stream.flush().unwrap();
+
+    // Read the response head.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "connection closed before response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_string)
+        })
+        .expect("Content-Length header")
+        .trim()
+        .parse()
+        .expect("numeric Content-Length");
+    let mut body = buf.split_off(head_end + 4);
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    (status, body)
+}
+
+fn json_body(image: &Tensor, seed: u64) -> Vec<u8> {
+    let data: Vec<String> = image.as_slice().iter().map(|v| format!("{v}")).collect();
+    let shape: Vec<String> = image.shape().iter().map(|d| d.to_string()).collect();
+    format!(
+        "{{\"shape\": [{}], \"data\": [{}], \"seed\": {seed}}}",
+        shape.join(","),
+        data.join(",")
+    )
+    .into_bytes()
+}
+
+#[test]
+fn json_inference_over_http_matches_run_seeded() {
+    let server = serve_engine();
+    let image = test_image(1);
+    let engine = Engine::builder()
+        .network(vgg9(&Vgg9Config::cifar10_small()).unwrap())
+        .encoder(Encoder::direct(2))
+        .precision(Precision::Int4)
+        .hardware_allocation("http-test", &[1, 4, 2, 4, 2, 4, 4, 2, 1])
+        .build()
+        .unwrap();
+    let want = engine.session().run_seeded(&image, 5).unwrap();
+
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+    let (status, body) = http_roundtrip(
+        &mut conn,
+        "POST",
+        "/v1/infer",
+        "application/json",
+        &json_body(&image, 5),
+    );
+    assert_eq!(status, 200, "body: {}", String::from_utf8_lossy(&body));
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains(&format!("\"prediction\":{}", want.prediction)),
+        "got: {text}"
+    );
+    assert!(text.contains("\"latency_ms\":"), "got: {text}");
+    assert!(text.contains("\"batch_size\":"), "got: {text}");
+
+    // Keep-alive: the same connection serves a second request.
+    let (status2, _) = http_roundtrip(
+        &mut conn,
+        "POST",
+        "/v1/infer",
+        "application/json",
+        &json_body(&image, 5),
+    );
+    assert_eq!(status2, 200);
+    server.shutdown();
+}
+
+#[test]
+fn binary_inference_over_http_roundtrips() {
+    let server = serve_engine();
+    let image = test_image(2);
+    let frame = encode_frame_request(&InferenceRequest::seeded(image.clone(), 11));
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+    let (status, body) = http_roundtrip(
+        &mut conn,
+        "POST",
+        "/v1/infer",
+        "application/octet-stream",
+        &frame,
+    );
+    assert_eq!(status, 200, "body: {}", String::from_utf8_lossy(&body));
+    let response = decode_frame_response(&body).expect("binary response decodes");
+    assert_eq!(response.status, 0);
+    assert_eq!(response.logits.len(), 10);
+    assert_eq!(response.timesteps, 2);
+    assert!(response.hardware.is_some());
+    assert!(response.batch_size >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_bodies_map_to_400_and_health_stats_respond() {
+    let server = serve_engine();
+    let addr = server.local_addr();
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let (status, body) = http_roundtrip(
+        &mut conn,
+        "POST",
+        "/v1/infer",
+        "application/json",
+        b"{\"shape\": [2], \"data\": [1.0]}",
+    );
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("error"));
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let (status, _) = http_roundtrip(
+        &mut conn,
+        "POST",
+        "/v1/infer",
+        "application/octet-stream",
+        b"XXXXgarbage",
+    );
+    assert_eq!(status, 400);
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let (status, body) = http_roundtrip(&mut conn, "GET", "/v1/healthz", "text/plain", b"");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok");
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let (status, body) = http_roundtrip(&mut conn, "GET", "/v1/stats", "text/plain", b"");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"submitted\""), "got: {text}");
+    assert!(text.contains("\"latency_p99_us\""), "got: {text}");
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let (status, _) = http_roundtrip(&mut conn, "GET", "/v1/nope", "text/plain", b"");
+    assert_eq!(status, 404);
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let (status, _) = http_roundtrip(&mut conn, "DELETE", "/v1/infer", "text/plain", b"");
+    assert_eq!(status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn model_shape_errors_map_to_422() {
+    let server = serve_engine();
+    // Wire-legal body, wrong tensor shape for the VGG-9 engine: the model
+    // rejects it, mapped to 422 (not 400 — the request *parsed* fine).
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+    let (status, body) = http_roundtrip(
+        &mut conn,
+        "POST",
+        "/v1/infer",
+        "application/json",
+        b"{\"shape\": [2, 2], \"data\": [1.0, 2.0, 3.0, 4.0]}",
+    );
+    assert_eq!(status, 422, "body: {}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("model error"));
+    server.shutdown();
+}

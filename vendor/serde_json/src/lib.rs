@@ -10,22 +10,44 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Serialization / deserialization error.
+///
+/// Parse errors carry the byte offset at which parsing failed, available
+/// through [`Error::offset`] — the serving layer uses it to point clients at
+/// the malformed position of a request body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     message: String,
+    offset: Option<usize>,
 }
 
 impl Error {
     fn new(message: impl Into<String>) -> Self {
         Error {
             message: message.into(),
+            offset: None,
         }
+    }
+
+    fn at(message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// Byte offset into the input at which parsing failed, if this is a
+    /// parse error with a known position.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
     }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
+        match self.offset {
+            Some(offset) => write!(f, "{} at offset {offset}", self.message),
+            None => write!(f, "{}", self.message),
+        }
     }
 }
 
@@ -65,18 +87,28 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 ///
 /// Returns [`Error`] on malformed JSON or a shape mismatch.
 pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    from_slice(input.as_bytes())
+}
+
+/// Parses a value of type `T` directly from JSON bytes, without requiring an
+/// intermediate `&str` (the parser validates UTF-8 lazily, only inside
+/// string literals). This is the zero-copy entry point request bodies decode
+/// through.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch; parse errors
+/// carry the failing byte offset ([`Error::offset`]).
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
     let mut parser = Parser {
-        bytes: input.as_bytes(),
+        bytes: input,
         pos: 0,
     };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at offset {}",
-            parser.pos
-        )));
+        return Err(Error::at("trailing characters", parser.pos));
     }
     Ok(T::from_value(&value)?)
 }
@@ -202,10 +234,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "expected `{}` at offset {}",
-                b as char, self.pos
-            )))
+            Err(Error::at(format!("expected `{}`", b as char), self.pos))
         }
     }
 
@@ -218,10 +247,10 @@ impl<'a> Parser<'a> {
             Some(b'f') => self.parse_literal("false", Value::Bool(false)),
             Some(b'n') => self.parse_literal("null", Value::Null),
             Some(b'-' | b'0'..=b'9') => self.parse_number(),
-            Some(other) => Err(Error::new(format!(
-                "unexpected character `{}` at offset {}",
-                other as char, self.pos
-            ))),
+            Some(other) => Err(Error::at(
+                format!("unexpected character `{}`", other as char),
+                self.pos,
+            )),
             None => Err(Error::new("unexpected end of input")),
         }
     }
@@ -231,10 +260,7 @@ impl<'a> Parser<'a> {
             self.pos += lit.len();
             Ok(value)
         } else {
-            Err(Error::new(format!(
-                "invalid literal at offset {}",
-                self.pos
-            )))
+            Err(Error::at("invalid literal", self.pos))
         }
     }
 
@@ -261,12 +287,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Obj(entries));
                 }
-                _ => {
-                    return Err(Error::new(format!(
-                        "expected `,` or `}}` at offset {}",
-                        self.pos
-                    )))
-                }
+                _ => return Err(Error::at("expected `,` or `}`", self.pos)),
             }
         }
     }
@@ -289,12 +310,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Arr(items));
                 }
-                _ => {
-                    return Err(Error::new(format!(
-                        "expected `,` or `]` at offset {}",
-                        self.pos
-                    )))
-                }
+                _ => return Err(Error::at("expected `,` or `]`", self.pos)),
             }
         }
     }
@@ -381,7 +397,7 @@ impl<'a> Parser<'a> {
         }
         text.parse::<f64>()
             .map(Value::F64)
-            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+            .map_err(|_| Error::at(format!("invalid number `{text}`"), start))
     }
 }
 
@@ -428,6 +444,23 @@ mod tests {
         assert!(from_str::<bool>("not json at all").is_err());
         assert!(from_str::<Vec<u32>>("[1, 2").is_err());
         assert!(from_str::<u32>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn from_slice_matches_from_str_and_reports_offsets() {
+        let nums: Vec<u32> = from_slice(b"[1, 2, 3]").unwrap();
+        assert_eq!(nums, vec![1, 2, 3]);
+        // Byte input need not be valid UTF-8 outside string literals to be
+        // rejected gracefully.
+        assert!(from_slice::<Vec<u32>>(&[b'[', 0xFF, b']']).is_err());
+        // Parse errors carry the failing byte offset.
+        let err = from_slice::<Vec<u32>>(b"[1, x]").unwrap_err();
+        assert_eq!(err.offset(), Some(4));
+        assert!(err.to_string().contains("offset 4"));
+        let err = from_str::<u32>("7 trailing").unwrap_err();
+        assert_eq!(err.offset(), Some(2));
+        // Shape mismatches are not positional.
+        assert_eq!(from_str::<u32>("true").unwrap_err().offset(), None);
     }
 
     #[test]
