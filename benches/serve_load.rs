@@ -25,9 +25,16 @@
 use snn::core::encoding::Encoder;
 use snn::core::network::{vgg9, Vgg9Config};
 use snn::core::tensor::Tensor;
-use snn::serve::{InferenceRequest, ServeConfig, ServeCore, ServeError};
+use snn::serve::{
+    FaultPlan, FaultyModel, InferenceRequest, ResponseHandle, RetryPolicy, ServeConfig, ServeCore,
+    ServeError,
+};
 use snn::{Engine, Precision};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Worker threads the engine fans a coalesced batch out over. Fixed (not
@@ -166,6 +173,214 @@ fn append_bench_json(arm: &Arm, result: &ArmResult) {
     }
 }
 
+/// A response only counts as *goodput* if it is `Ok` and arrives within the
+/// client's latency budget — under overload, late answers are worthless.
+const CLIENT_BUDGET: Duration = Duration::from_millis(50);
+
+/// The per-request deadline the deadline-shedding arm runs with (strictly
+/// inside [`CLIENT_BUDGET`], leaving room for service time).
+const ARM_DEADLINE: Duration = Duration::from_millis(25);
+
+#[derive(Debug, Clone)]
+struct FaultArmResult {
+    goodput_rps: f64,
+    completed_rps: f64,
+    shed: u64,
+    retries: u64,
+    deadline_expired: u64,
+    model_panics: u64,
+    worker_restarts: u64,
+    p50_us: u64,
+}
+
+enum SubmitOutcome {
+    Accepted,
+    Retry(Instant),
+    Dropped,
+}
+
+/// One submission attempt for logical request `id`; retryable rejections
+/// (`Overloaded`, `DeadlineUnmeetable`, ...) are scheduled for a jittered
+/// backoff retry per the client [`RetryPolicy`].
+#[allow(clippy::too_many_arguments)]
+fn attempt_submit<M: snn::serve::ServeModel>(
+    core: &ServeCore<M>,
+    images: &[Tensor],
+    policy: &RetryPolicy,
+    id: u64,
+    attempt: u32,
+    origin: Instant,
+    tx: &mpsc::Sender<(Instant, ResponseHandle)>,
+) -> SubmitOutcome {
+    let image = images[(id % images.len() as u64) as usize].clone();
+    match core.submit(InferenceRequest::seeded(image, id)) {
+        Ok(handle) => {
+            let _ = tx.send((origin, handle));
+            SubmitOutcome::Accepted
+        }
+        Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
+            SubmitOutcome::Retry(Instant::now() + policy.backoff_for(attempt, e.retry_after()))
+        }
+        Err(_) => SubmitOutcome::Dropped,
+    }
+}
+
+/// Open-loop load against a fault-injected engine (8% model errors + 2%
+/// panics), with the load generator acting as a retrying client. The two
+/// arms differ only in `default_timeout`: with deadlines on, expired
+/// requests are shed at dequeue instead of burning inference on answers
+/// nobody is waiting for — that is exactly the goodput gap this measures.
+fn run_fault_arm(
+    engine: &Engine,
+    deadline: Option<Duration>,
+    offered_rps: u64,
+    duration: Duration,
+) -> FaultArmResult {
+    let plan = FaultPlan::new(7)
+        .with_error_rate(0.08)
+        .with_panic_rate(0.02);
+    let core = Arc::new(
+        ServeCore::start(
+            FaultyModel::new(engine.clone(), plan),
+            ServeConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(1),
+                queue_capacity: 256,
+                default_timeout: deadline,
+                restart_backoff: Duration::from_micros(200),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("core starts"),
+    );
+    let images: Vec<Tensor> = (0..16).map(test_image).collect();
+    let policy = RetryPolicy::new(0xC0FFEE)
+        .with_max_attempts(3)
+        .with_backoff(
+            Duration::from_millis(1),
+            Duration::from_millis(20),
+            Duration::from_millis(40),
+        );
+
+    let good = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = mpsc::channel::<(Instant, ResponseHandle)>();
+    let rx = Arc::new(Mutex::new(rx));
+    let collectors: Vec<_> = (0..4)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let good = Arc::clone(&good);
+            std::thread::spawn(move || loop {
+                let received = rx.lock().expect("collector lock").recv();
+                let Ok((origin, handle)) = received else {
+                    return;
+                };
+                if handle.wait().is_ok() && origin.elapsed() <= CLIENT_BUDGET {
+                    good.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // (due, origin, id, next attempt) — min-heap on the due time.
+    let mut retry_heap: BinaryHeap<Reverse<(Instant, Instant, u64, u32)>> = BinaryHeap::new();
+    let interval = Duration::from_nanos(1_000_000_000 / offered_rps.max(1));
+    let started = Instant::now();
+    let mut next = started;
+    let mut id = 0u64;
+    let mut shed = 0u64;
+    let mut retries = 0u64;
+    while started.elapsed() < duration {
+        while let Some(&Reverse((due, origin, rid, attempt))) = retry_heap.peek() {
+            if due > Instant::now() {
+                break;
+            }
+            retry_heap.pop();
+            retries += 1;
+            match attempt_submit(&core, &images, &policy, rid, attempt, origin, &tx) {
+                SubmitOutcome::Retry(due) => {
+                    retry_heap.push(Reverse((due, origin, rid, attempt + 1)));
+                }
+                SubmitOutcome::Accepted | SubmitOutcome::Dropped => {}
+            }
+        }
+        pace_until(next);
+        next += interval;
+        id += 1;
+        let origin = Instant::now();
+        match attempt_submit(&core, &images, &policy, id, 1, origin, &tx) {
+            SubmitOutcome::Accepted => {}
+            SubmitOutcome::Retry(due) => {
+                shed += 1;
+                retry_heap.push(Reverse((due, origin, id, 2)));
+            }
+            SubmitOutcome::Dropped => shed += 1,
+        }
+    }
+    drop(tx);
+    for collector in collectors {
+        collector.join().expect("collector joins");
+    }
+    let elapsed = started.elapsed();
+    let stats = core.stats();
+    core.shutdown();
+    FaultArmResult {
+        goodput_rps: good.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
+        completed_rps: stats.completed as f64 / elapsed.as_secs_f64(),
+        shed,
+        retries,
+        deadline_expired: stats.deadline_expired,
+        model_panics: stats.model_panics,
+        worker_restarts: stats.worker_restarts,
+        p50_us: stats.latency_p50_us,
+    }
+}
+
+fn median_fault(runs: &[FaultArmResult]) -> FaultArmResult {
+    let mid = |mut v: Vec<u64>| {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    FaultArmResult {
+        goodput_rps: median(runs.iter().map(|r| r.goodput_rps).collect()),
+        completed_rps: median(runs.iter().map(|r| r.completed_rps).collect()),
+        shed: mid(runs.iter().map(|r| r.shed).collect()),
+        retries: mid(runs.iter().map(|r| r.retries).collect()),
+        deadline_expired: mid(runs.iter().map(|r| r.deadline_expired).collect()),
+        model_panics: mid(runs.iter().map(|r| r.model_panics).collect()),
+        worker_restarts: mid(runs.iter().map(|r| r.worker_restarts).collect()),
+        p50_us: mid(runs.iter().map(|r| r.p50_us).collect()),
+    }
+}
+
+fn append_fault_json(label: &str, offered_rps: u64, result: &FaultArmResult) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let line = format!(
+        "{{\"bench\":\"serve_load\",\"config\":\"{label}\",\"offered_rps\":{offered_rps},\"goodput_rps\":{:.1},\"completed_rps\":{:.1},\"shed\":{},\"retries\":{},\"deadline_expired\":{},\"model_panics\":{},\"worker_restarts\":{},\"p50_us\":{}}}\n",
+        result.goodput_rps,
+        result.completed_rps,
+        result.shed,
+        result.retries,
+        result.deadline_expired,
+        result.model_panics,
+        result.worker_restarts,
+        result.p50_us,
+    );
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut file) => {
+            if let Err(err) = file.write_all(line.as_bytes()) {
+                eprintln!("BENCH_JSON: could not append to {path}: {err}");
+            }
+        }
+        Err(err) => eprintln!("BENCH_JSON: could not open {path}: {err}"),
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let (duration, reps, loads): (Duration, usize, &[u64]) = if smoke {
@@ -227,4 +442,78 @@ fn main() {
             append_bench_json(&arm, &result);
         }
     }
+
+    // Goodput under faults: offered load beyond capacity, 10% injected
+    // faults (8% model errors + 2% panics), the generator retrying with
+    // jittered backoff. Deadline shedding must *strictly* improve goodput —
+    // enforced below, so the CI smoke (`--test`) catches regressions.
+    // Injected panics are caught by the serving core's supervision; keep
+    // the default hook from spamming stderr with their backtraces while
+    // still printing any *real* panic in full.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !message.contains("injected fault") {
+            default_hook(info);
+        }
+    }));
+
+    let fault_offered = 4_000;
+    let fault_duration = if smoke {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(2)
+    };
+    println!(
+        "\nserve_load: goodput under faults (8% errors + 2% panics, offered {fault_offered} rps, \
+         client budget {CLIENT_BUDGET:?}, {fault_duration:?}/arm, {reps} rep(s))"
+    );
+    println!(
+        "{:<22} {:>12} {:>14} {:>8} {:>8} {:>9} {:>8} {:>9} {:>10}",
+        "config",
+        "goodput_rps",
+        "completed_rps",
+        "shed",
+        "retries",
+        "expired",
+        "panics",
+        "restarts",
+        "p50_us"
+    );
+    let mut goodput = Vec::new();
+    for (label, deadline) in [
+        ("faults_nodeadline", None),
+        ("faults_deadline25ms", Some(ARM_DEADLINE)),
+    ] {
+        let runs: Vec<FaultArmResult> = (0..reps)
+            .map(|_| run_fault_arm(&engine, deadline, fault_offered, fault_duration))
+            .collect();
+        let result = median_fault(&runs);
+        println!(
+            "{:<22} {:>12.1} {:>14.1} {:>8} {:>8} {:>9} {:>8} {:>9} {:>10}",
+            label,
+            result.goodput_rps,
+            result.completed_rps,
+            result.shed,
+            result.retries,
+            result.deadline_expired,
+            result.model_panics,
+            result.worker_restarts,
+            result.p50_us,
+        );
+        append_fault_json(label, fault_offered, &result);
+        goodput.push(result.goodput_rps);
+    }
+    assert!(
+        goodput[1] > goodput[0],
+        "deadline shedding must strictly improve goodput under overload \
+         (with deadlines {:.1} rps vs without {:.1} rps)",
+        goodput[1],
+        goodput[0],
+    );
 }

@@ -53,17 +53,51 @@ pub struct InferenceRequest {
     /// deterministic direct coding ignores the value but the contract is
     /// uniform).
     pub seed: u64,
+    /// Deadline budget, measured from submission: a result delivered more
+    /// than this long after [`ServeCore::submit`] accepted the request is
+    /// worthless to the caller (the paper's ECU pipeline is latency-bound,
+    /// so the server models this explicitly). `None` falls back to
+    /// [`ServeConfig::default_timeout`]. Expired requests are dropped at
+    /// dequeue *before* any inference is spent on them, and admission
+    /// control pre-rejects requests whose deadline the current queue wait
+    /// already makes unmeetable.
+    pub deadline: Option<Duration>,
 }
 
 impl InferenceRequest {
-    /// Builds a request with seed 0.
+    /// Builds a request with seed 0 and no explicit deadline.
     pub fn new(image: Tensor) -> Self {
-        InferenceRequest { image, seed: 0 }
+        InferenceRequest {
+            image,
+            seed: 0,
+            deadline: None,
+        }
     }
 
-    /// Builds a request with an explicit seed.
+    /// Builds a request with an explicit seed (and no explicit deadline).
     pub fn seeded(image: Tensor, seed: u64) -> Self {
-        InferenceRequest { image, seed }
+        InferenceRequest {
+            image,
+            seed,
+            deadline: None,
+        }
+    }
+
+    /// Sets the deadline budget (builder style).
+    ///
+    /// ```
+    /// use snn_serve::InferenceRequest;
+    /// use snn_core::tensor::Tensor;
+    /// use std::time::Duration;
+    ///
+    /// let image = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+    /// let request = InferenceRequest::seeded(image, 7).with_deadline(Duration::from_millis(25));
+    /// assert_eq!(request.deadline, Some(Duration::from_millis(25)));
+    /// ```
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -156,6 +190,17 @@ pub struct ServeConfig {
     /// already fans a batch out over the engine's own worker threads).
     /// Resolved through the shared `snn_core::resolve_threads` clamp rule.
     pub workers: Option<usize>,
+    /// Deadline budget applied to requests that do not carry their own
+    /// (default: `None` — no deadline). See
+    /// [`InferenceRequest::with_deadline`] for the semantics.
+    pub default_timeout: Option<Duration>,
+    /// Base delay before the supervisor respawns a dead batch worker
+    /// (default 10 ms). Consecutive deaths without progress double the
+    /// delay up to [`ServeConfig::restart_backoff_cap`]; a completed batch
+    /// resets it.
+    pub restart_backoff: Duration,
+    /// Upper bound of the restart backoff (default 1 s).
+    pub restart_backoff_cap: Duration,
 }
 
 impl Default for ServeConfig {
@@ -166,6 +211,9 @@ impl Default for ServeConfig {
             queue_capacity: 128,
             high_water: None,
             workers: Some(1),
+            default_timeout: None,
+            restart_backoff: Duration::from_millis(10),
+            restart_backoff_cap: Duration::from_secs(1),
         }
     }
 }
@@ -193,6 +241,12 @@ impl ServeConfig {
                     "the shedding threshold must be in 1..={} (the queue capacity), got {high_water}",
                     self.queue_capacity
                 ),
+            )));
+        }
+        if self.restart_backoff_cap < self.restart_backoff {
+            return Err(ServeError::Model(SnnError::config(
+                "restart_backoff_cap",
+                "the restart backoff cap must be at least the base backoff",
             )));
         }
         // `workers: Some(n)` goes through the shared thread-count clamp rule
@@ -302,14 +356,19 @@ impl ResponseHandle {
 struct Ticket {
     slot: Arc<ResponseSlot>,
     enqueued: Instant,
+    /// Absolute expiry computed at submit time from the request's deadline
+    /// budget (or the configured default). Workers drop expired tickets at
+    /// dequeue, before spending inference on them.
+    deadline: Option<Instant>,
     armed: bool,
 }
 
 impl Ticket {
-    fn new(slot: Arc<ResponseSlot>) -> Self {
+    fn new(slot: Arc<ResponseSlot>, deadline: Option<Instant>) -> Self {
         Ticket {
             slot,
             enqueued: Instant::now(),
+            deadline,
             armed: true,
         }
     }
@@ -352,8 +411,23 @@ pub struct ServeStats {
     pub completed: u64,
     /// Requests shed with [`ServeError::Overloaded`].
     pub rejected: u64,
+    /// Requests pre-rejected at submit with
+    /// [`ServeError::DeadlineUnmeetable`] (the queue-wait estimate already
+    /// exceeded their deadline).
+    pub deadline_rejected: u64,
+    /// Requests dropped at dequeue with [`ServeError::DeadlineExceeded`]
+    /// (they expired while queued; no inference was spent on them).
+    pub deadline_expired: u64,
     /// Requests that reached the model and failed.
     pub model_errors: u64,
+    /// Model panics contained by a batch worker (each answers its whole
+    /// batch with [`ServeError::ModelPanicked`] and costs one worker
+    /// restart).
+    pub model_panics: u64,
+    /// Dead batch workers respawned by the supervisor. A healthy core stays
+    /// at 0; a rising count is the failure-observability signal that the
+    /// model is panicking or workers are dying.
+    pub worker_restarts: u64,
     /// Coalesced batches executed.
     pub batches: u64,
     /// Largest coalesced batch.
@@ -377,6 +451,10 @@ pub struct ServeStats {
     pub queue_p50_us: u64,
     /// 99th-percentile queue wait in microseconds.
     pub queue_p99_us: u64,
+    /// Median per-request model service time in microseconds (a batch's
+    /// model time divided by its size); admission control multiplies this
+    /// by the queue depth to estimate a new arrival's queue wait.
+    pub service_p50_us: u64,
 }
 
 #[derive(Debug)]
@@ -384,12 +462,19 @@ struct StatsState {
     submitted: u64,
     completed: u64,
     rejected: u64,
+    deadline_rejected: u64,
+    deadline_expired: u64,
     model_errors: u64,
+    model_panics: u64,
+    worker_restarts: u64,
     batches: u64,
     peak_batch: usize,
     coalesced: u64,
     latency: LogHistogram,
     queue_wait: LogHistogram,
+    /// Per-request share of model batch time; the admission-control
+    /// queue-wait estimator reads its median.
+    service: LogHistogram,
 }
 
 impl StatsState {
@@ -398,14 +483,27 @@ impl StatsState {
             submitted: 0,
             completed: 0,
             rejected: 0,
+            deadline_rejected: 0,
+            deadline_expired: 0,
             model_errors: 0,
+            model_panics: 0,
+            worker_restarts: 0,
             batches: 0,
             peak_batch: 0,
             coalesced: 0,
             latency: LogHistogram::new(),
             queue_wait: LogHistogram::new(),
+            service: LogHistogram::new(),
         }
     }
+}
+
+/// Supervisor signalling: workers report their slot here when they exit
+/// (normally or by panic), and [`ServeCore::shutdown`] flags `closing`.
+#[derive(Debug, Default)]
+struct SupervisionState {
+    dead: Vec<usize>,
+    closing: bool,
 }
 
 #[derive(Debug)]
@@ -414,29 +512,64 @@ struct CoreShared {
     high_water: usize,
     max_batch: usize,
     max_delay: Duration,
+    default_timeout: Option<Duration>,
+    workers: usize,
+    restart_backoff: Duration,
+    restart_backoff_cap: Duration,
     stats: Mutex<StatsState>,
+    supervision: Mutex<SupervisionState>,
+    supervisor_wake: Condvar,
 }
+
+/// Admission control only trusts the service-time estimate once this many
+/// requests have been measured; before that, every deadline is assumed
+/// meetable (the queue-wait shedding at dequeue still protects the model).
+const ADMISSION_WARMUP: u64 = 16;
+
+/// Consecutive no-progress worker deaths after which the supervisor
+/// declares the model wedged (its runner cannot even be constructed),
+/// closes the queue and fails the backlog with typed errors instead of
+/// respawning forever while waiters hang.
+const WEDGE_LIMIT: u32 = 8;
 
 /// The dynamic-batching serving core. Generic over the [`ServeModel`] it
 /// serves; the `snn` facade implements the trait for its `Engine`.
 ///
 /// See the [module docs](self) for the ownership diagram and the
 /// determinism contract.
+///
+/// # Fault tolerance
+///
+/// Each worker runs the model under `catch_unwind`: a panicking model
+/// answers exactly the requests of the panicking batch with the typed
+/// [`ServeError::ModelPanicked`] (never a hang, never a poisoned core) and
+/// the worker then exits, conservatively discarding its possibly-poisoned
+/// runner. A supervisor thread respawns dead workers with capped
+/// exponential backoff and exposes the restart count in
+/// [`ServeStats::worker_restarts`]. Requests whose deadline passed while
+/// they were queued are dropped at dequeue — before any inference is spent
+/// on them — with [`ServeError::DeadlineExceeded`], and admission control
+/// pre-rejects submissions whose deadline the current queue-wait estimate
+/// already exceeds.
 #[derive(Debug)]
 pub struct ServeCore<M: ServeModel> {
     shared: Arc<CoreShared>,
     model: Arc<M>,
-    workers: Vec<JoinHandle<()>>,
+    /// Taken by the first [`ServeCore::shutdown`] caller; `shutdown_done`
+    /// lets concurrent callers wait for that first call to finish.
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    shutdown_done: (Mutex<bool>, Condvar),
 }
 
 impl<M: ServeModel> ServeCore<M> {
-    /// Starts the core: validates the configuration and launches the worker
-    /// threads, each owning one [`ModelRunner`].
+    /// Starts the core: validates the configuration and launches the
+    /// supervisor, which spawns the worker threads (each owning one
+    /// [`ModelRunner`]) and respawns them if they die.
     ///
     /// # Errors
     ///
-    /// Returns a config error for a zero `max_batch`/`queue_capacity` or an
-    /// out-of-range `high_water`.
+    /// Returns a config error for a zero `max_batch`/`queue_capacity`, an
+    /// out-of-range `high_water` or a backoff cap below the base backoff.
     pub fn start(model: M, config: ServeConfig) -> Result<Self, ServeError> {
         let (high_water, workers) = config.validated()?;
         let shared = Arc::new(CoreShared {
@@ -444,23 +577,28 @@ impl<M: ServeModel> ServeCore<M> {
             high_water,
             max_batch: config.max_batch,
             max_delay: config.max_delay,
+            default_timeout: config.default_timeout,
+            workers,
+            restart_backoff: config.restart_backoff,
+            restart_backoff_cap: config.restart_backoff_cap,
             stats: Mutex::new(StatsState::new()),
+            supervision: Mutex::new(SupervisionState::default()),
+            supervisor_wake: Condvar::new(),
         });
         let model = Arc::new(model);
-        let handles = (0..workers)
-            .map(|w| {
-                let shared = Arc::clone(&shared);
-                let model = Arc::clone(&model);
-                std::thread::Builder::new()
-                    .name(format!("snn-serve-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &*model))
-                    .expect("failed to spawn serve worker thread")
-            })
-            .collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let model = Arc::clone(&model);
+            std::thread::Builder::new()
+                .name("snn-serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared, &model, workers))
+                .expect("failed to spawn serve supervisor thread")
+        };
         Ok(ServeCore {
             shared,
             model,
-            workers: handles,
+            supervisor: Mutex::new(Some(supervisor)),
+            shutdown_done: (Mutex::new(false), Condvar::new()),
         })
     }
 
@@ -470,13 +608,22 @@ impl<M: ServeModel> ServeCore<M> {
     /// # Errors
     ///
     /// [`ServeError::Overloaded`] once the queue depth reaches the
-    /// high-water mark, [`ServeError::ShuttingDown`] after
-    /// [`ServeCore::shutdown`].
+    /// high-water mark, [`ServeError::DeadlineUnmeetable`] when the request
+    /// carries a deadline (or [`ServeConfig::default_timeout`] applies one)
+    /// that the current queue-wait estimate — queue depth × the median
+    /// per-request service time from the core's streaming
+    /// [`LogHistogram`] — already exceeds, and
+    /// [`ServeError::ShuttingDown`] after [`ServeCore::shutdown`].
     pub fn submit(&self, request: InferenceRequest) -> Result<ResponseHandle, ServeError> {
+        let budget = request.deadline.or(self.shared.default_timeout);
+        if let Some(budget) = budget {
+            self.check_admission(budget)?;
+        }
         let slot = Arc::new(ResponseSlot::new());
+        let deadline = budget.map(|b| Instant::now() + b);
         let job = Job {
             request,
-            ticket: Ticket::new(Arc::clone(&slot)),
+            ticket: Ticket::new(Arc::clone(&slot), deadline),
         };
         match self.shared.queue.try_push(job, self.shared.high_water) {
             Ok(_) => {
@@ -501,6 +648,37 @@ impl<M: ServeModel> ServeCore<M> {
         }
     }
 
+    /// Deadline admission control: estimate the queue wait a new arrival
+    /// would see (depth × median per-request service time ÷ workers, from
+    /// the streaming service-time histogram) and pre-reject the request if
+    /// its deadline budget is already unmeetable. Queueing it anyway would
+    /// waste queue space and, without the dequeue-time check, model compute
+    /// on a result the caller cannot use.
+    fn check_admission(&self, budget: Duration) -> Result<(), ServeError> {
+        let depth = self.shared.queue.depth() as u64;
+        if depth == 0 {
+            return Ok(());
+        }
+        let mut stats = self.shared.stats.lock().expect("stats poisoned");
+        if stats.service.count() < ADMISSION_WARMUP {
+            return Ok(());
+        }
+        let service_p50 = stats.service.quantile(0.5);
+        let estimated_us = depth
+            .saturating_mul(service_p50)
+            .checked_div(self.shared.workers as u64)
+            .unwrap_or(u64::MAX);
+        let deadline_us = u64::try_from(budget.as_micros()).unwrap_or(u64::MAX);
+        if estimated_us > deadline_us {
+            stats.deadline_rejected += 1;
+            return Err(ServeError::DeadlineUnmeetable {
+                estimated_us,
+                deadline_us,
+            });
+        }
+        Ok(())
+    }
+
     /// Convenience: [`ServeCore::submit`] then [`ResponseHandle::wait`].
     ///
     /// # Errors
@@ -517,7 +695,11 @@ impl<M: ServeModel> ServeCore<M> {
             submitted: stats.submitted,
             completed: stats.completed,
             rejected: stats.rejected,
+            deadline_rejected: stats.deadline_rejected,
+            deadline_expired: stats.deadline_expired,
             model_errors: stats.model_errors,
+            model_panics: stats.model_panics,
+            worker_restarts: stats.worker_restarts,
             batches: stats.batches,
             peak_batch: stats.peak_batch,
             mean_batch: if stats.batches == 0 {
@@ -533,6 +715,7 @@ impl<M: ServeModel> ServeCore<M> {
             latency_mean_us: stats.latency.mean(),
             queue_p50_us: stats.queue_wait.quantile(0.5),
             queue_p99_us: stats.queue_wait.quantile(0.99),
+            service_p50_us: stats.service.quantile(0.5),
         }
     }
 
@@ -543,18 +726,43 @@ impl<M: ServeModel> ServeCore<M> {
 
     /// Stops accepting requests, drains everything already queued (in-flight
     /// requests complete; their waiters are answered), and joins the
-    /// workers.
-    pub fn shutdown(mut self) {
-        self.shutdown_in_place();
-    }
-
-    fn shutdown_in_place(&mut self) {
+    /// supervisor and its workers.
+    ///
+    /// Idempotent and race-safe: a second call — sequential or concurrent —
+    /// is a no-op that merely waits for the first call to finish, so
+    /// transports and drop-guards may all call it without coordinating.
+    pub fn shutdown(&self) {
         self.shared.queue.close();
-        for handle in self.workers.drain(..) {
-            // A panicked worker already released its waiters through the
-            // ticket drop-guards; nothing more to do than surface it.
-            if let Err(panic) = handle.join() {
-                std::panic::resume_unwind(panic);
+        {
+            let mut sup = self
+                .shared
+                .supervision
+                .lock()
+                .expect("supervision poisoned");
+            sup.closing = true;
+        }
+        self.shared.supervisor_wake.notify_all();
+        // Exactly one caller takes the handle and joins; everyone else waits
+        // for that caller to flag completion.
+        let handle = self
+            .supervisor
+            .lock()
+            .expect("supervisor handle poisoned")
+            .take();
+        let (done_flag, done_cv) = &self.shutdown_done;
+        match handle {
+            Some(handle) => {
+                // The supervisor joins the workers itself; it never panics.
+                let _ = handle.join();
+                let mut done = done_flag.lock().expect("shutdown flag poisoned");
+                *done = true;
+                done_cv.notify_all();
+            }
+            None => {
+                let mut done = done_flag.lock().expect("shutdown flag poisoned");
+                while !*done {
+                    done = done_cv.wait(done).expect("shutdown flag poisoned");
+                }
             }
         }
     }
@@ -562,19 +770,59 @@ impl<M: ServeModel> ServeCore<M> {
 
 impl<M: ServeModel> Drop for ServeCore<M> {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
-            self.shared.queue.close();
-            for handle in self.workers.drain(..) {
-                let _ = handle.join();
-            }
-        }
+        self.shutdown();
+    }
+}
+
+/// Notifies the supervisor of this worker's death when the worker exits —
+/// on the normal return path and on an unwinding panic alike, so a dead
+/// worker can never go unnoticed.
+struct DeathGuard<'a> {
+    shared: &'a CoreShared,
+    slot: usize,
+}
+
+impl Drop for DeathGuard<'_> {
+    fn drop(&mut self) {
+        let mut sup = self
+            .shared
+            .supervision
+            .lock()
+            .expect("supervision poisoned");
+        sup.dead.push(self.slot);
+        drop(sup);
+        self.shared.supervisor_wake.notify_all();
+    }
+}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model panicked with a non-string payload".to_string()
     }
 }
 
 /// One worker: build the runner, then drain coalesced batches until the
 /// queue closes and empties.
-fn worker_loop<M: ServeModel>(shared: &CoreShared, model: &M) {
-    let mut runner = model.runner();
+///
+/// Fault containment: the runner is constructed and every batch is executed
+/// under `catch_unwind`. A panicking batch answers all of its tickets with
+/// [`ServeError::ModelPanicked`] and the worker then exits — the runner may
+/// hold arbitrary poisoned state after an unwind, so it is discarded and the
+/// supervisor spawns a replacement with a fresh one. Tickets whose deadline
+/// passed while queued are dropped before the model sees them.
+fn worker_loop<M: ServeModel>(shared: &CoreShared, model: &M, slot: usize) {
+    let _death = DeathGuard { shared, slot };
+    let Ok(mut runner) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.runner()))
+    else {
+        // Construction panicked: die quietly; the supervisor backs off,
+        // retries, and declares the model wedged if this never succeeds.
+        return;
+    };
     let mut jobs: Vec<Job> = Vec::with_capacity(shared.max_batch);
     let mut requests: Vec<InferenceRequest> = Vec::with_capacity(shared.max_batch);
     let mut tickets: Vec<Ticket> = Vec::with_capacity(shared.max_batch);
@@ -584,14 +832,53 @@ fn worker_loop<M: ServeModel>(shared: &CoreShared, model: &M) {
     {
         requests.clear();
         tickets.clear();
+        // Deadline shedding at dequeue: expired requests get their typed
+        // error now and never reach the model — the inference they would
+        // have cost goes to requests that can still make their deadlines.
+        let now = Instant::now();
+        let mut expired = 0u64;
         for job in jobs.drain(..) {
-            requests.push(job.request);
-            tickets.push(job.ticket);
+            if job.ticket.deadline.is_some_and(|d| now >= d) {
+                let queued_us = elapsed_us(job.ticket.enqueued);
+                expired += 1;
+                job.ticket
+                    .complete(Err(ServeError::DeadlineExceeded { queued_us }));
+            } else {
+                requests.push(job.request);
+                tickets.push(job.ticket);
+            }
+        }
+        if expired > 0 {
+            let mut stats = shared.stats.lock().expect("stats poisoned");
+            stats.deadline_expired += expired;
         }
         let batch_size = requests.len();
+        if batch_size == 0 {
+            continue;
+        }
         let started = Instant::now();
-        let mut results = runner.run_batch(std::mem::take(&mut requests));
+        let batch = std::mem::take(&mut requests);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner.run_batch(batch)));
         let batch_us = elapsed_us(started);
+        let mut results = match outcome {
+            Ok(results) => results,
+            Err(payload) => {
+                // The panic is contained here: exactly this batch's waiters
+                // observe it, typed; then this worker dies and is respawned
+                // by the supervisor with a fresh (unpoisoned) runner.
+                let message = panic_message(payload.as_ref());
+                let mut stats = shared.stats.lock().expect("stats poisoned");
+                stats.model_panics += 1;
+                drop(stats);
+                for ticket in tickets.drain(..) {
+                    ticket.complete(Err(ServeError::ModelPanicked {
+                        message: message.clone(),
+                    }));
+                }
+                return;
+            }
+        };
         // A conforming runner answers every request; if one under-delivers,
         // the unanswered tail gets a model error rather than a hang.
         while results.len() < batch_size {
@@ -604,6 +891,8 @@ fn worker_loop<M: ServeModel>(shared: &CoreShared, model: &M) {
         stats.batches += 1;
         stats.coalesced += batch_size as u64;
         stats.peak_batch = stats.peak_batch.max(batch_size);
+        // Per-request service share feeding the admission-control estimator.
+        stats.service.record((batch_us / batch_size as u64).max(1));
         for (ticket, result) in tickets.drain(..).zip(results) {
             let queued_us = duration_us(started.saturating_duration_since(ticket.enqueued));
             stats.latency.record(elapsed_us(ticket.enqueued));
@@ -623,6 +912,107 @@ fn worker_loop<M: ServeModel>(shared: &CoreShared, model: &M) {
                     ticket.complete(Err(ServeError::Model(e)));
                 }
             }
+        }
+    }
+}
+
+/// The supervisor: spawns the initial worker pool, then loops joining dead
+/// workers and respawning them with capped exponential backoff until the
+/// queue is shut down (closed and drained) and every worker has exited.
+///
+/// Two exits are distinguished by [`BoundedQueue::is_shutdown`] (monotonic):
+/// a worker that died while the queue was still live is abnormal and is
+/// respawned (counted in [`ServeStats::worker_restarts`]); workers exiting
+/// after shutdown are normal and simply joined. If workers die
+/// [`WEDGE_LIMIT`] consecutive times without a single batch of progress —
+/// the model cannot even construct a runner — the supervisor declares the
+/// model wedged: it closes the queue and fails the backlog with typed
+/// [`ServeError::ModelPanicked`] responses instead of respawning forever
+/// while waiters hang.
+fn supervisor_loop<M: ServeModel>(shared: &Arc<CoreShared>, model: &Arc<M>, workers: usize) {
+    let spawn = |slot: usize| {
+        let shared = Arc::clone(shared);
+        let model = Arc::clone(model);
+        std::thread::Builder::new()
+            .name(format!("snn-serve-worker-{slot}"))
+            .spawn(move || worker_loop(&shared, &*model, slot))
+            .expect("failed to spawn serve worker thread")
+    };
+    let mut handles: Vec<Option<JoinHandle<()>>> = (0..workers).map(|w| Some(spawn(w))).collect();
+    let mut alive = workers;
+    let mut backoff = shared.restart_backoff;
+    let mut no_progress_deaths = 0u32;
+    let mut last_batches = 0u64;
+    loop {
+        let dead: Vec<usize> = {
+            let mut sup = shared.supervision.lock().expect("supervision poisoned");
+            while sup.dead.is_empty() && !(sup.closing && alive == 0) {
+                sup = shared
+                    .supervisor_wake
+                    .wait(sup)
+                    .expect("supervision poisoned");
+            }
+            std::mem::take(&mut sup.dead)
+        };
+        for slot in dead {
+            if let Some(handle) = handles[slot].take() {
+                let _ = handle.join();
+                alive -= 1;
+            }
+            if shared.queue.is_shutdown() {
+                // Normal drain-complete exit; nothing to respawn.
+                continue;
+            }
+            // Abnormal death with work (potentially) still flowing: respawn.
+            let batches = {
+                let mut stats = shared.stats.lock().expect("stats poisoned");
+                stats.worker_restarts += 1;
+                stats.batches
+            };
+            if batches > last_batches {
+                // Progress since the last death: the model works, this was
+                // an isolated fault. Restart eagerly again.
+                last_batches = batches;
+                backoff = shared.restart_backoff;
+                no_progress_deaths = 0;
+            } else {
+                no_progress_deaths += 1;
+                if no_progress_deaths >= WEDGE_LIMIT {
+                    // Wedged: no worker has ever made progress. Stop the
+                    // respawn loop and fail the backlog instead of hanging
+                    // its waiters forever.
+                    shared.queue.close();
+                    fail_backlog(shared);
+                    continue;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(shared.restart_backoff_cap);
+            }
+            handles[slot] = Some(spawn(slot));
+            alive += 1;
+        }
+        let sup = shared.supervision.lock().expect("supervision poisoned");
+        if sup.closing && alive == 0 && sup.dead.is_empty() {
+            return;
+        }
+    }
+}
+
+/// Drains whatever is still queued on a wedged core and answers every
+/// ticket with a typed error, so no waiter hangs on a model that will never
+/// run again.
+fn fail_backlog(shared: &CoreShared) {
+    let mut jobs: Vec<Job> = Vec::new();
+    // The queue is closed, so pop_batch drains without waiting and returns
+    // false once empty.
+    while shared
+        .queue
+        .pop_batch(&mut jobs, usize::MAX, Duration::ZERO)
+    {
+        for job in jobs.drain(..) {
+            job.ticket.complete(Err(ServeError::ModelPanicked {
+                message: "model wedged: workers died repeatedly without progress".to_string(),
+            }));
         }
     }
 }

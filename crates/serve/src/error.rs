@@ -3,10 +3,16 @@
 //! Serving failures are *typed* so transports can map them onto wire-level
 //! status codes without string matching: [`ServeError::Overloaded`] becomes
 //! HTTP 503 (load shedding is an expected, recoverable condition the client
-//! should back off from), protocol errors become 400, model errors 422.
+//! should back off from), deadline failures become 504, protocol errors
+//! 400, model errors 422, model panics 500. [`ServeError::is_retryable`]
+//! encodes which failures a client may safely retry (inference is
+//! idempotent, so every *shed* — the work was never attempted — is
+//! retryable), and [`ServeError::retry_after`] carries the server's backoff
+//! hint where one can be computed.
 
 use snn_core::SnnError;
 use std::fmt;
+use std::time::Duration;
 
 /// Error returned by the serving layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +26,34 @@ pub enum ServeError {
         /// The configured shedding threshold that was hit.
         limit: usize,
     },
+    /// The request expired in the queue: a worker dequeued it after its
+    /// deadline had already passed and dropped it *before* spending any
+    /// inference on it (a result delivered after its deadline is worthless,
+    /// so the compute would be too).
+    DeadlineExceeded {
+        /// Microseconds the request spent queued before it was dropped.
+        queued_us: u64,
+    },
+    /// Admission control pre-rejected the request at submit time: the
+    /// queue-wait estimate from the server's streaming latency histograms
+    /// already exceeded the request's deadline, so queueing it would only
+    /// burn queue space on a result nobody can use. Retry after the hint
+    /// from [`ServeError::retry_after`].
+    DeadlineUnmeetable {
+        /// Estimated queue wait at submit time, in microseconds.
+        estimated_us: u64,
+        /// The request's deadline budget, in microseconds.
+        deadline_us: u64,
+    },
+    /// The model panicked while executing the batch containing this
+    /// request. The panic was contained by the worker (it never escapes the
+    /// core) and the worker was restarted with a fresh runner; the request
+    /// itself was consumed by the panicking call and is reported here
+    /// rather than silently retried.
+    ModelPanicked {
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
     /// The core is shutting down (or has shut down) and no longer accepts
     /// or can answer requests.
     ShuttingDown,
@@ -29,6 +63,13 @@ pub enum ServeError {
     /// frame). Decoding never panics and never over-allocates; it returns
     /// this instead.
     Protocol(String),
+    /// The peer stalled past a transport read/write timeout (slowloris
+    /// protection): the connection is closed and its thread freed instead
+    /// of being pinned forever. Maps to HTTP 408.
+    Timeout(String),
+    /// The request head or body exceeded a transport size cap. Maps to
+    /// HTTP 413.
+    TooLarge(String),
     /// A transport-level I/O failure (socket read/write).
     Io(String),
 }
@@ -40,9 +81,26 @@ impl fmt::Display for ServeError {
                 f,
                 "server overloaded: queue depth {depth} at high-water mark {limit}"
             ),
+            ServeError::DeadlineExceeded { queued_us } => write!(
+                f,
+                "deadline exceeded: request expired after {queued_us} us in the queue"
+            ),
+            ServeError::DeadlineUnmeetable {
+                estimated_us,
+                deadline_us,
+            } => write!(
+                f,
+                "deadline unmeetable: estimated queue wait {estimated_us} us exceeds the \
+                 {deadline_us} us deadline"
+            ),
+            ServeError::ModelPanicked { message } => {
+                write!(f, "model panicked: {message}")
+            }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Timeout(msg) => write!(f, "timeout: {msg}"),
+            ServeError::TooLarge(msg) => write!(f, "request too large: {msg}"),
             ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -74,6 +132,50 @@ impl ServeError {
     pub fn protocol(msg: impl Into<String>) -> Self {
         ServeError::Protocol(msg.into())
     }
+
+    /// Whether a client may safely retry the request after backing off.
+    ///
+    /// Inference is idempotent, so every error that *shed* the request —
+    /// the model never produced (or could not deliver) a result the caller
+    /// got — is retryable: load shedding, deadline shedding, a contained
+    /// model panic, a transport timeout or I/O failure. Deterministic
+    /// rejections ([`ServeError::Model`], [`ServeError::Protocol`],
+    /// [`ServeError::TooLarge`]) would fail identically on retry, and
+    /// [`ServeError::ShuttingDown`] means this server will not come back
+    /// for the retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded { .. }
+                | ServeError::DeadlineExceeded { .. }
+                | ServeError::DeadlineUnmeetable { .. }
+                | ServeError::ModelPanicked { .. }
+                | ServeError::Timeout(_)
+                | ServeError::Io(_)
+        )
+    }
+
+    /// The server's backoff hint: how long the client should wait before
+    /// retrying, where the error carries enough information to compute one.
+    ///
+    /// [`ServeError::DeadlineUnmeetable`] knows exactly how far the current
+    /// queue wait overshoots the deadline, so the hint is that overshoot
+    /// (the queue must drain at least that much before the deadline becomes
+    /// meetable). [`ServeError::Overloaded`] hints a fixed short pause.
+    /// Transports surface this as the `Retry-After` header; the
+    /// [`RetryPolicy`](crate::RetryPolicy) honors it as a lower bound.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ServeError::Overloaded { .. } => Some(Duration::from_millis(100)),
+            ServeError::DeadlineUnmeetable {
+                estimated_us,
+                deadline_us,
+            } => Some(Duration::from_micros(
+                estimated_us.saturating_sub(*deadline_us).max(1_000),
+            )),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +196,68 @@ mod tests {
             .contains("bad magic"));
         let m: ServeError = SnnError::config("x", "y").into();
         assert!(m.to_string().contains("model error"));
+        let d = ServeError::DeadlineExceeded { queued_us: 1234 };
+        assert!(d.to_string().contains("1234"));
+        let u = ServeError::DeadlineUnmeetable {
+            estimated_us: 9000,
+            deadline_us: 4000,
+        };
+        assert!(u.to_string().contains("9000") && u.to_string().contains("4000"));
+        let p = ServeError::ModelPanicked {
+            message: "boom".to_string(),
+        };
+        assert!(p.to_string().contains("boom"));
+        assert!(ServeError::Timeout("head".into())
+            .to_string()
+            .contains("timeout"));
+        assert!(ServeError::TooLarge("body".into())
+            .to_string()
+            .contains("large"));
+    }
+
+    #[test]
+    fn retryability_follows_the_shed_rule() {
+        assert!(ServeError::Overloaded { depth: 1, limit: 1 }.is_retryable());
+        assert!(ServeError::DeadlineExceeded { queued_us: 1 }.is_retryable());
+        assert!(ServeError::DeadlineUnmeetable {
+            estimated_us: 2,
+            deadline_us: 1
+        }
+        .is_retryable());
+        assert!(ServeError::ModelPanicked {
+            message: String::new()
+        }
+        .is_retryable());
+        assert!(ServeError::Timeout(String::new()).is_retryable());
+        assert!(ServeError::Io(String::new()).is_retryable());
+        // Deterministic rejections are not retryable.
+        assert!(!ServeError::ShuttingDown.is_retryable());
+        assert!(!ServeError::Model(SnnError::config("x", "y")).is_retryable());
+        assert!(!ServeError::Protocol(String::new()).is_retryable());
+        assert!(!ServeError::TooLarge(String::new()).is_retryable());
+    }
+
+    #[test]
+    fn retry_after_reflects_the_deadline_overshoot() {
+        let hint = ServeError::DeadlineUnmeetable {
+            estimated_us: 250_000,
+            deadline_us: 50_000,
+        }
+        .retry_after()
+        .expect("unmeetable deadlines carry a hint");
+        assert_eq!(hint, Duration::from_micros(200_000));
+        // Tiny overshoots are floored so clients cannot busy-retry.
+        let floor = ServeError::DeadlineUnmeetable {
+            estimated_us: 11,
+            deadline_us: 10,
+        }
+        .retry_after()
+        .unwrap();
+        assert!(floor >= Duration::from_millis(1));
+        assert!(ServeError::Overloaded { depth: 5, limit: 4 }
+            .retry_after()
+            .is_some());
+        assert!(ServeError::ShuttingDown.retry_after().is_none());
     }
 
     #[test]

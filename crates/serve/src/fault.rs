@@ -1,0 +1,290 @@
+//! Deterministic fault injection for chaos-testing the serving stack.
+//!
+//! A [`FaultPlan`] is a seeded, pure description of which requests fail and
+//! how: the decision for a request is a hash of `(plan seed, request seed)`
+//! alone, so it is **independent of batching, queue depth, worker count and
+//! thread scheduling** — the same request fails the same way whether it is
+//! served alone or coalesced into any batch, which is what makes chaos runs
+//! reproducible and their surviving results comparable bitwise against a
+//! sequential reference.
+//!
+//! Faults are injected at two seams:
+//!
+//! - [`FaultyModel`] wraps any [`ServeModel`] and perturbs its runner:
+//!   injected model *errors* (typed, per request), model *panics* (the whole
+//!   batch observes [`ModelPanicked`](crate::ServeError::ModelPanicked) and
+//!   the worker is restarted) and artificial *latency* before the batch.
+//! - [`FaultPlan::connection_chaos`] builds the HTTP shim's
+//!   [`chaos_drop`](crate::HttpOptions::chaos_drop) hook, dropping
+//!   connections by request ordinal to simulate mid-request network
+//!   failures.
+//!
+//! ```
+//! use snn_serve::FaultPlan;
+//!
+//! let plan = FaultPlan::new(42).with_error_rate(0.5);
+//! // Decisions are a pure function of (plan seed, request seed):
+//! assert_eq!(plan.fault_for(7), plan.fault_for(7));
+//! ```
+
+use crate::core::{InferenceRequest, InferenceResult, ModelRunner, ServeModel};
+use snn_core::SnnError;
+use std::time::Duration;
+
+/// What a [`FaultPlan`] decided to do to one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Serve the request normally.
+    None,
+    /// The model reports a typed per-request error.
+    Error,
+    /// The model panics on the batch containing this request (the panic is
+    /// contained by the worker; the whole batch gets
+    /// [`ModelPanicked`](crate::ServeError::ModelPanicked)).
+    Panic,
+    /// The model stalls this long before running the batch.
+    Latency(Duration),
+}
+
+/// A seeded, deterministic description of injected faults.
+///
+/// All rates are probabilities in `[0, 1]`, evaluated per request from a
+/// hash of `(plan seed, request seed)`; they partition one uniform draw, so
+/// `panic_rate + error_rate + latency_rate` should not exceed 1 (excess is
+/// clipped in rate order: panic first, then error, then latency).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Seed of the plan; different seeds produce independent fault sets.
+    pub seed: u64,
+    /// Probability that a request's model call panics.
+    pub panic_rate: f64,
+    /// Probability that a request's model call returns a typed error.
+    pub error_rate: f64,
+    /// Probability that a request's batch is delayed by [`FaultPlan::latency`].
+    pub latency_rate: f64,
+    /// The injected stall for latency faults (default 1 ms).
+    pub latency: Duration,
+    /// Probability that the HTTP shim drops a connection mid-request
+    /// (evaluated per request *ordinal*, see
+    /// [`FaultPlan::connection_chaos`]).
+    pub drop_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; switch them on with the
+    /// `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_rate: 0.0,
+            error_rate: 0.0,
+            latency_rate: 0.0,
+            latency: Duration::from_millis(1),
+            drop_rate: 0.0,
+        }
+    }
+
+    /// Sets the model-panic probability.
+    pub fn with_panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate;
+        self
+    }
+
+    /// Sets the model-error probability.
+    pub fn with_error_rate(mut self, rate: f64) -> Self {
+        self.error_rate = rate;
+        self
+    }
+
+    /// Sets the latency-fault probability and stall duration.
+    pub fn with_latency(mut self, rate: f64, latency: Duration) -> Self {
+        self.latency_rate = rate;
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the connection-drop probability.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// The fault this plan assigns to a request with encoder seed
+    /// `request_seed`. Pure: depends only on the plan and the argument.
+    pub fn fault_for(&self, request_seed: u64) -> Fault {
+        let draw = unit(hash2(self.seed, request_seed, 0x6d6f64656c)); // "model"
+        if draw < self.panic_rate {
+            Fault::Panic
+        } else if draw < self.panic_rate + self.error_rate {
+            Fault::Error
+        } else if draw < self.panic_rate + self.error_rate + self.latency_rate {
+            Fault::Latency(self.latency)
+        } else {
+            Fault::None
+        }
+    }
+
+    /// Whether the HTTP shim should drop the connection serving request
+    /// ordinal `n` (0-based across the server). Pure in `(plan, n)`.
+    pub fn drops_connection(&self, ordinal: u64) -> bool {
+        unit(hash2(self.seed, ordinal, 0x64726f70)) < self.drop_rate // "drop"
+    }
+
+    /// Builds the [`chaos_drop`](crate::HttpOptions::chaos_drop) hook for
+    /// [`HttpServer::bind_with_options`](crate::HttpServer::bind_with_options).
+    pub fn connection_chaos(&self) -> crate::http::ConnectionChaos {
+        let plan = *self;
+        std::sync::Arc::new(move |ordinal| plan.drops_connection(ordinal))
+    }
+}
+
+/// splitmix64 finalizer — a strong 64-bit mix, the standard seeding
+/// primitive of the xoshiro family. Shared with the retry jitter.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Domain-separated hash of two words.
+fn hash2(a: u64, b: u64, domain: u64) -> u64 {
+    splitmix64(splitmix64(a ^ splitmix64(domain)) ^ b)
+}
+
+/// Maps a hash onto `[0, 1)` with 53-bit precision.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A [`ServeModel`] wrapper injecting the faults of a [`FaultPlan`] into an
+/// inner model. The wrapper is transparent for unfaulted requests: their
+/// results are exactly the inner model's (the serving determinism contract
+/// survives fault injection).
+#[derive(Debug)]
+pub struct FaultyModel<M> {
+    inner: M,
+    plan: FaultPlan,
+}
+
+impl<M> FaultyModel<M> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: M, plan: FaultPlan) -> Self {
+        FaultyModel { inner, plan }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl<M: ServeModel> ServeModel for FaultyModel<M> {
+    type Runner = FaultyRunner<M::Runner>;
+
+    fn runner(&self) -> Self::Runner {
+        FaultyRunner {
+            inner: self.inner.runner(),
+            plan: self.plan,
+        }
+    }
+}
+
+/// The [`ModelRunner`] of a [`FaultyModel`].
+#[derive(Debug)]
+pub struct FaultyRunner<R> {
+    inner: R,
+    plan: FaultPlan,
+}
+
+impl<R: ModelRunner> ModelRunner for FaultyRunner<R> {
+    fn run_batch(
+        &mut self,
+        requests: Vec<InferenceRequest>,
+    ) -> Vec<Result<InferenceResult, SnnError>> {
+        // Panic dominates: any panic-faulted request takes its whole batch
+        // down, exactly like a real model bug would.
+        if let Some(seed) = requests
+            .iter()
+            .map(|r| r.seed)
+            .find(|&s| self.plan.fault_for(s) == Fault::Panic)
+        {
+            panic!("injected fault: model panic (request seed {seed})");
+        }
+        let mut stall = Duration::ZERO;
+        for request in &requests {
+            if let Fault::Latency(d) = self.plan.fault_for(request.seed) {
+                stall = stall.max(d);
+            }
+        }
+        if stall > Duration::ZERO {
+            std::thread::sleep(stall);
+        }
+        let errored: Vec<bool> = requests
+            .iter()
+            .map(|r| self.plan.fault_for(r.seed) == Fault::Error)
+            .collect();
+        let results = self.inner.run_batch(requests);
+        results
+            .into_iter()
+            .zip(errored)
+            .map(|(result, errored)| {
+                if errored {
+                    Err(SnnError::config("fault", "injected model error"))
+                } else {
+                    result
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_seed_dependent() {
+        let plan = FaultPlan::new(1)
+            .with_panic_rate(0.1)
+            .with_error_rate(0.2)
+            .with_latency(0.2, Duration::from_millis(1));
+        for seed in 0..64 {
+            assert_eq!(plan.fault_for(seed), plan.fault_for(seed));
+        }
+        // A different plan seed reshuffles the fault assignment.
+        let other = FaultPlan { seed: 2, ..plan };
+        assert!((0..256).any(|s| plan.fault_for(s) != other.fault_for(s)));
+    }
+
+    #[test]
+    fn rates_partition_one_draw() {
+        // With rates summing to 1 every request is faulted; with all zero
+        // none is.
+        let all = FaultPlan::new(3).with_panic_rate(0.5).with_error_rate(0.5);
+        assert!((0..128).all(|s| all.fault_for(s) != Fault::None));
+        let none = FaultPlan::new(3);
+        assert!((0..128).all(|s| none.fault_for(s) == Fault::None));
+    }
+
+    #[test]
+    fn observed_rates_track_configured_rates() {
+        let plan = FaultPlan::new(7).with_error_rate(0.25);
+        let n = 10_000;
+        let errors = (0..n)
+            .filter(|&s| plan.fault_for(s) == Fault::Error)
+            .count();
+        let rate = errors as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed error rate {rate}");
+        let drops = (0..n)
+            .filter(|&o| plan.with_drop_rate(0.1).drops_connection(o))
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "observed drop rate {rate}");
+    }
+}

@@ -20,37 +20,103 @@
 //!
 //! | [`ServeError`] variant | HTTP status |
 //! |------------------------|-------------|
-//! | `Overloaded`           | 503 (with `Retry-After: 1`) — back off and retry |
+//! | `Overloaded`           | 503 (with `Retry-After`) — back off and retry |
 //! | `ShuttingDown`         | 503         |
+//! | `DeadlineExceeded`     | 504         |
+//! | `DeadlineUnmeetable`   | 504 (with computed `Retry-After`) |
+//! | `ModelPanicked`        | 500         |
 //! | `Protocol`             | 400         |
 //! | `Model`                | 422         |
+//! | `Timeout`              | 408 (stalled peer; connection is closed) |
+//! | `TooLarge`             | 413         |
 //! | `Io`                   | 500         |
 //!
 //! Error bodies are always JSON: `{"error": "<message>"}`.
+//!
+//! # Hardening
+//!
+//! Connections are bounded in every dimension via [`HttpOptions`]: a head
+//! that never finishes arriving ([`HttpOptions::header_timeout`]) or a body
+//! that trickles ([`HttpOptions::body_timeout`]) gets 408 and the thread
+//! back (slowloris protection); an oversized head or declared body gets 413
+//! *before* any allocation. Writes carry [`HttpOptions::write_timeout`] so
+//! a peer that stops reading cannot pin a thread either.
 
 use crate::core::{ServeCore, ServeModel};
 use crate::error::ServeError;
 use crate::protocol;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Hard ceiling on request head (request line + headers) bytes.
-const MAX_HEAD: usize = 16 * 1024;
-/// Hard ceiling on request body bytes (comfortably above the largest legal
-/// binary frame; hostile `Content-Length` values are refused before any
-/// allocation).
-const MAX_BODY: usize = 128 << 20;
 /// Poll interval for idle keep-alive connections, so connection threads
 /// notice shutdown promptly.
 const IDLE_POLL: Duration = Duration::from_millis(100);
 
+/// Per-connection chaos hook: called with the 0-based inference-request
+/// ordinal; returning `true` makes the server drop the connection abruptly
+/// (no response bytes), simulating a mid-request network failure. Only the
+/// fault-injection tests install one.
+pub type ConnectionChaos = Arc<dyn Fn(u64) -> bool + Send + Sync>;
+
+/// Transport limits and timeouts of the HTTP shim. The defaults are
+/// generous for trusted clients; lower them at the edge.
+#[derive(Clone)]
+pub struct HttpOptions {
+    /// Ceiling on request head (request line + headers) bytes → 413.
+    pub max_head: usize,
+    /// Ceiling on request body bytes (checked against `Content-Length`
+    /// before any allocation) → 413.
+    pub max_body: usize,
+    /// How long a partially-received head may keep trickling in → 408.
+    /// Idle keep-alive connections (no bytes buffered) are exempt.
+    pub header_timeout: Duration,
+    /// How long a body may take to arrive after the head → 408.
+    pub body_timeout: Duration,
+    /// Socket write timeout; a peer that stops reading loses its
+    /// connection instead of pinning the thread.
+    pub write_timeout: Duration,
+    /// Deterministic connection-drop hook for chaos tests.
+    pub chaos_drop: Option<ConnectionChaos>,
+}
+
+impl Default for HttpOptions {
+    fn default() -> Self {
+        HttpOptions {
+            max_head: 16 * 1024,
+            // Comfortably above the largest legal binary frame; hostile
+            // `Content-Length` values are refused before any allocation.
+            max_body: 128 << 20,
+            header_timeout: Duration::from_secs(5),
+            body_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            chaos_drop: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for HttpOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpOptions")
+            .field("max_head", &self.max_head)
+            .field("max_body", &self.max_body)
+            .field("header_timeout", &self.header_timeout)
+            .field("body_timeout", &self.body_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("chaos_drop", &self.chaos_drop.is_some())
+            .finish()
+    }
+}
+
 struct HttpShared<M: ServeModel> {
     core: ServeCore<M>,
     stop: AtomicBool,
+    options: HttpOptions,
+    /// Ordinal fed to the chaos hook, one per inference request served.
+    chaos_requests: AtomicU64,
 }
 
 /// The blocking HTTP server. Owns the [`ServeCore`] it fronts; dropping the
@@ -71,11 +137,27 @@ impl<M: ServeModel> HttpServer<M> {
     ///
     /// [`ServeError::Io`] if the address cannot be bound.
     pub fn bind(core: ServeCore<M>, addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        Self::bind_with_options(core, addr, HttpOptions::default())
+    }
+
+    /// Like [`HttpServer::bind`] with explicit transport limits, timeouts
+    /// and chaos hooks.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the address cannot be bound.
+    pub fn bind_with_options(
+        core: ServeCore<M>,
+        addr: impl ToSocketAddrs,
+        options: HttpOptions,
+    ) -> Result<Self, ServeError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(HttpShared {
             core,
             stop: AtomicBool::new(false),
+            options,
+            chaos_requests: AtomicU64::new(0),
         });
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -176,22 +258,40 @@ struct Request {
 
 /// Reads one HTTP/1.1 request. Returns `Ok(None)` on clean EOF or shutdown
 /// while idle (no partial request buffered).
+///
+/// Hardened against hostile peers: the head and body each live under a
+/// timeout measured from their first byte ([`ServeError::Timeout`] → 408,
+/// slowloris protection) and a size cap checked before any allocation
+/// ([`ServeError::TooLarge`] → 413).
 fn read_request<M: ServeModel>(
     stream: &mut TcpStream,
     shared: &HttpShared<M>,
 ) -> Result<Option<Request>, ServeError> {
+    let options = &shared.options;
     stream.set_read_timeout(Some(IDLE_POLL))?;
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
-    // Phase 1: accumulate until the blank line ends the head.
+    // Phase 1: accumulate until the blank line ends the head. The timeout
+    // clock starts at the first byte — an *idle* keep-alive connection may
+    // sit as long as it likes, a *started* head must finish promptly.
+    let mut head_started: Option<Instant> = None;
     let head_end = loop {
         if let Some(pos) = find_head_end(&buf) {
             break pos;
         }
-        if buf.len() > MAX_HEAD {
-            return Err(ServeError::protocol(format!(
-                "request head exceeds {MAX_HEAD} bytes"
+        if buf.len() > options.max_head {
+            return Err(ServeError::TooLarge(format!(
+                "request head exceeds {} bytes",
+                options.max_head
             )));
+        }
+        if let Some(started) = head_started {
+            if started.elapsed() > options.header_timeout {
+                return Err(ServeError::Timeout(format!(
+                    "request head still incomplete after {:?}",
+                    options.header_timeout
+                )));
+            }
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
@@ -200,7 +300,10 @@ fn read_request<M: ServeModel>(
                 }
                 return Err(ServeError::protocol("connection closed mid-request"));
             }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                head_started.get_or_insert_with(Instant::now);
+                buf.extend_from_slice(&chunk[..n]);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -244,12 +347,15 @@ fn read_request<M: ServeModel>(
             _ => {}
         }
     }
-    if content_length > MAX_BODY {
-        return Err(ServeError::protocol(format!(
-            "Content-Length {content_length} exceeds the {MAX_BODY}-byte ceiling"
+    if content_length > options.max_body {
+        return Err(ServeError::TooLarge(format!(
+            "Content-Length {content_length} exceeds the {}-byte ceiling",
+            options.max_body
         )));
     }
-    // Phase 2: the body is whatever followed the head plus further reads.
+    // Phase 2: the body is whatever followed the head plus further reads,
+    // bounded by its own timeout.
+    let body_started = Instant::now();
     let mut body = buf.split_off(head_end + 4);
     if body.len() > content_length {
         return Err(ServeError::protocol(
@@ -257,6 +363,12 @@ fn read_request<M: ServeModel>(
         ));
     }
     while body.len() < content_length {
+        if body_started.elapsed() > options.body_timeout {
+            return Err(ServeError::Timeout(format!(
+                "request body still incomplete after {:?}",
+                options.body_timeout
+            )));
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return Err(ServeError::protocol("connection closed mid-body")),
             Ok(n) => {
@@ -292,8 +404,11 @@ fn status_line(status: u16) -> &'static str {
         400 => "400 Bad Request",
         404 => "404 Not Found",
         405 => "405 Method Not Allowed",
+        408 => "408 Request Timeout",
+        413 => "413 Content Too Large",
         422 => "422 Unprocessable Entity",
         503 => "503 Service Unavailable",
+        504 => "504 Gateway Timeout",
         _ => "500 Internal Server Error",
     }
 }
@@ -304,6 +419,7 @@ fn write_response(
     content_type: &str,
     body: &[u8],
     keep_alive: bool,
+    retry_after: Option<Duration>,
 ) -> Result<(), ServeError> {
     let mut head = format!(
         "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
@@ -312,8 +428,11 @@ fn write_response(
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
-    if status == 503 {
-        head.push_str("Retry-After: 1\r\n");
+    if let Some(hint) = retry_after {
+        // Retry-After is whole seconds on the wire; round hints up so the
+        // client never retries before the server said it could help.
+        let secs = hint.as_secs() + u64::from(hint.subsec_nanos() > 0);
+        head.push_str(&format!("Retry-After: {}\r\n", secs.max(1)));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
@@ -326,9 +445,12 @@ fn write_response(
 fn error_status(e: &ServeError) -> u16 {
     match e {
         ServeError::Overloaded { .. } | ServeError::ShuttingDown => 503,
+        ServeError::DeadlineExceeded { .. } | ServeError::DeadlineUnmeetable { .. } => 504,
         ServeError::Protocol(_) => 400,
         ServeError::Model(_) => 422,
-        ServeError::Io(_) => 500,
+        ServeError::Timeout(_) => 408,
+        ServeError::TooLarge(_) => 413,
+        ServeError::ModelPanicked { .. } | ServeError::Io(_) => 500,
     }
 }
 
@@ -346,6 +468,7 @@ fn serve_connection<M: ServeModel>(
     mut stream: TcpStream,
     shared: &HttpShared<M>,
 ) -> Result<(), ServeError> {
+    stream.set_write_timeout(Some(shared.options.write_timeout))?;
     loop {
         let request = match read_request(&mut stream, shared) {
             Ok(Some(request)) => request,
@@ -359,6 +482,7 @@ fn serve_connection<M: ServeModel>(
                     "application/json",
                     &error_body(&e),
                     false,
+                    e.retry_after(),
                 );
                 return Err(e);
             }
@@ -366,15 +490,30 @@ fn serve_connection<M: ServeModel>(
         let keep_alive = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/v1/healthz") => {
-                write_response(&mut stream, 200, "text/plain", b"ok", keep_alive)?;
+                write_response(&mut stream, 200, "text/plain", b"ok", keep_alive, None)?;
             }
             ("GET", "/v1/stats") => {
                 let body = serde_json::to_string(&shared.core.stats())
                     .unwrap_or_else(|_| "{}".to_string())
                     .into_bytes();
-                write_response(&mut stream, 200, "application/json", &body, keep_alive)?;
+                write_response(
+                    &mut stream,
+                    200,
+                    "application/json",
+                    &body,
+                    keep_alive,
+                    None,
+                )?;
             }
             ("POST", "/v1/infer") => {
+                if let Some(chaos) = &shared.options.chaos_drop {
+                    let ordinal = shared.chaos_requests.fetch_add(1, Ordering::SeqCst);
+                    if chaos(ordinal) {
+                        // Simulated network failure: hang up without a
+                        // response, exactly as a dying peer would.
+                        return Ok(());
+                    }
+                }
                 let binary = request.content_type.contains("octet-stream");
                 let outcome = if binary {
                     protocol::decode_frame_request(&request.body)
@@ -392,6 +531,7 @@ fn serve_connection<M: ServeModel>(
                                 "application/octet-stream",
                                 &body,
                                 keep_alive,
+                                None,
                             )?;
                         } else {
                             let body = protocol::encode_json_response(&response)?;
@@ -401,6 +541,7 @@ fn serve_connection<M: ServeModel>(
                                 "application/json",
                                 &body,
                                 keep_alive,
+                                None,
                             )?;
                         }
                     }
@@ -411,6 +552,7 @@ fn serve_connection<M: ServeModel>(
                             "application/json",
                             &error_body(&e),
                             keep_alive,
+                            e.retry_after(),
                         )?;
                     }
                 }
@@ -423,6 +565,7 @@ fn serve_connection<M: ServeModel>(
                     "application/json",
                     &error_body(&e),
                     keep_alive,
+                    None,
                 )?;
             }
             _ => {
@@ -433,6 +576,7 @@ fn serve_connection<M: ServeModel>(
                     "application/json",
                     &error_body(&e),
                     keep_alive,
+                    None,
                 )?;
             }
         }

@@ -24,13 +24,30 @@
 //! The repo's serving determinism suite asserts exactly this against
 //! sequential `Session::run_seeded` calls.
 //!
+//! ## Fault tolerance
+//!
+//! Requests may carry a **deadline** (wire field `deadline_us`, default
+//! from [`ServeConfig::default_timeout`]): expired requests are shed at
+//! dequeue before any inference is spent on them, and admission control
+//! pre-rejects deadlines the current queue-wait estimate already exceeds.
+//! Workers run the model under `catch_unwind` and are **supervised**: a
+//! panicking model answers exactly its batch with a typed error and the
+//! worker is respawned with capped exponential backoff
+//! ([`ServeStats::worker_restarts`]). A seeded [`FaultPlan`] injects
+//! deterministic faults for chaos tests, and [`RetryPolicy`] gives clients
+//! jittered, budget-capped backoff for the errors the server marks
+//! retryable.
+//!
 //! ## Layers
 //!
-//! - [`ServeCore`] — queue + batcher + workers + statistics (this is the
-//!   API most embedders want).
+//! - [`ServeCore`] — queue + batcher + supervised workers + statistics
+//!   (this is the API most embedders want).
 //! - [`protocol`] — the JSON and length-prefixed binary wire codecs.
 //! - [`HttpServer`] — a thin blocking HTTP/1.1 shim on `std::net` exposing
-//!   `POST /v1/infer`, `GET /v1/stats` and `GET /v1/healthz`.
+//!   `POST /v1/infer`, `GET /v1/stats` and `GET /v1/healthz`, hardened via
+//!   [`HttpOptions`] (read/write timeouts, head/body caps).
+//! - [`fault`] / [`retry`] — deterministic fault injection and client
+//!   retry/backoff.
 //!
 //! ## Example
 //!
@@ -81,13 +98,17 @@
 
 pub mod core;
 pub mod error;
+pub mod fault;
 pub mod http;
 pub mod protocol;
 mod queue;
+pub mod retry;
 
 pub use crate::core::{
     InferenceRequest, InferenceResult, ModelRunner, ResponseHandle, ServeConfig, ServeCore,
     ServeModel, ServeStats, ServedResponse,
 };
 pub use crate::error::ServeError;
-pub use crate::http::HttpServer;
+pub use crate::fault::{Fault, FaultPlan, FaultyModel};
+pub use crate::http::{HttpOptions, HttpServer};
+pub use crate::retry::RetryPolicy;

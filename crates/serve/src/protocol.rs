@@ -6,10 +6,13 @@
 //! # JSON request
 //!
 //! ```json
-//! {"shape": [3, 16, 16], "data": [0.0, 0.25, ...], "seed": 7}
+//! {"shape": [3, 16, 16], "data": [0.0, 0.25, ...], "seed": 7, "deadline_us": 50000}
 //! ```
 //!
-//! `seed` is optional (default 0). `data` must hold exactly
+//! `seed` is optional (default 0). `deadline_us` is optional: when present
+//! and non-zero it is the request's deadline budget in microseconds,
+//! measured from server admission — a result the server cannot deliver
+//! within the budget is shed instead of computed. `data` must hold exactly
 //! `shape.iter().product()` floats. Decoding goes through the vendored
 //! `serde_json::from_slice`, so malformed bodies report the failing byte
 //! offset.
@@ -17,8 +20,13 @@
 //! # Binary request frame (little-endian)
 //!
 //! ```text
-//! magic "SNQ1" | payload_len: u32 | seed: u64 | ndim: u8 | dims: u32 × ndim | data: f32 × Π dims
+//! magic "SNQ2" | payload_len: u32 | seed: u64 | deadline_us: u64 |
+//!   ndim: u8 | dims: u32 × ndim | data: f32 × Π dims
 //! ```
+//!
+//! `deadline_us = 0` means "no deadline". The magic was bumped from `SNQ1`
+//! when the field was added; old frames are rejected with a typed protocol
+//! error naming the expected magic.
 //!
 //! `payload_len` counts every byte after itself and must equal what is
 //! actually present — the decoder validates all declared sizes against the
@@ -40,9 +48,11 @@ use crate::core::{InferenceRequest, ServedResponse};
 use crate::error::ServeError;
 use serde::{DeError, Deserialize, Serialize, Value};
 use snn_core::tensor::Tensor;
+use std::time::Duration;
 
-/// Magic prefix of a binary request frame.
-pub const REQUEST_MAGIC: [u8; 4] = *b"SNQ1";
+/// Magic prefix of a binary request frame (`SNQ2` since the deadline field
+/// was added; `SNQ1` frames are rejected).
+pub const REQUEST_MAGIC: [u8; 4] = *b"SNQ2";
 /// Magic prefix of a binary response frame.
 pub const RESPONSE_MAGIC: [u8; 4] = *b"SNP1";
 /// Largest number of dimensions a request shape may declare.
@@ -63,6 +73,9 @@ pub struct JsonRequest {
     pub data: Vec<f32>,
     /// Encoder seed (optional on the wire, default 0).
     pub seed: u64,
+    /// Deadline budget in microseconds (optional on the wire; absent or 0
+    /// means "no deadline").
+    pub deadline_us: u64,
 }
 
 impl Deserialize for JsonRequest {
@@ -77,17 +90,31 @@ impl Deserialize for JsonRequest {
                 .map_err(|e| DeError::new(format!("field `seed` of request: {e}")))?,
             None => 0,
         };
-        Ok(JsonRequest { shape, data, seed })
+        let deadline_us: u64 = match value.get("deadline_us") {
+            Some(v) => u64::from_value(v)
+                .map_err(|e| DeError::new(format!("field `deadline_us` of request: {e}")))?,
+            None => 0,
+        };
+        Ok(JsonRequest {
+            shape,
+            data,
+            seed,
+            deadline_us,
+        })
     }
 }
 
 impl Serialize for JsonRequest {
     fn to_value(&self) -> Value {
-        Value::Obj(vec![
+        let mut fields = vec![
             ("shape".to_string(), self.shape.to_value()),
             ("data".to_string(), self.data.to_value()),
             ("seed".to_string(), self.seed.to_value()),
-        ])
+        ];
+        if self.deadline_us > 0 {
+            fields.push(("deadline_us".to_string(), self.deadline_us.to_value()));
+        }
+        Value::Obj(fields)
     }
 }
 
@@ -116,10 +143,12 @@ pub struct JsonResponse {
 }
 
 /// Validates a shape + data pair and builds the request tensor.
+/// `deadline_us = 0` means "no deadline" (the wire sentinel).
 fn request_from_parts(
     shape: &[usize],
     data: Vec<f32>,
     seed: u64,
+    deadline_us: u64,
 ) -> Result<InferenceRequest, ServeError> {
     if shape.is_empty() || shape.len() > MAX_DIMS {
         return Err(ServeError::protocol(format!(
@@ -149,7 +178,11 @@ fn request_from_parts(
     }
     let image = Tensor::from_vec(data, shape)
         .map_err(|e| ServeError::protocol(format!("invalid tensor: {e}")))?;
-    Ok(InferenceRequest { image, seed })
+    Ok(InferenceRequest {
+        image,
+        seed,
+        deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
+    })
 }
 
 /// Decodes a JSON request body.
@@ -161,7 +194,16 @@ fn request_from_parts(
 pub fn decode_json_request(body: &[u8]) -> Result<InferenceRequest, ServeError> {
     let wire: JsonRequest =
         serde_json::from_slice(body).map_err(|e| ServeError::protocol(e.to_string()))?;
-    request_from_parts(&wire.shape, wire.data, wire.seed)
+    request_from_parts(&wire.shape, wire.data, wire.seed, wire.deadline_us)
+}
+
+/// The wire encoding of a request's deadline: its budget in microseconds,
+/// saturated into `u64`, with 0 as the "no deadline" sentinel.
+fn deadline_us_of(request: &InferenceRequest) -> u64 {
+    request
+        .deadline
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1))
+        .unwrap_or(0)
 }
 
 /// Encodes a request as a JSON body (the client side of the JSON protocol).
@@ -175,6 +217,7 @@ pub fn encode_json_request(request: &InferenceRequest) -> Result<Vec<u8>, ServeE
         shape: request.image.shape().to_vec(),
         data: request.image.as_slice().to_vec(),
         seed: request.seed,
+        deadline_us: deadline_us_of(request),
     };
     serde_json::to_string(&wire)
         .map(String::into_bytes)
@@ -302,11 +345,12 @@ fn frame_payload<'a>(bytes: &'a [u8], magic: &[u8; 4], what: &str) -> Result<&'a
 pub fn encode_frame_request(request: &InferenceRequest) -> Vec<u8> {
     let shape = request.image.shape();
     let data = request.image.as_slice();
-    let payload_len = 8 + 1 + 4 * shape.len() + 4 * data.len();
+    let payload_len = 8 + 8 + 1 + 4 * shape.len() + 4 * data.len();
     let mut out = Vec::with_capacity(8 + payload_len);
     out.extend_from_slice(&REQUEST_MAGIC);
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
     out.extend_from_slice(&request.seed.to_le_bytes());
+    out.extend_from_slice(&deadline_us_of(request).to_le_bytes());
     out.push(shape.len() as u8);
     for &dim in shape {
         out.extend_from_slice(&(dim as u32).to_le_bytes());
@@ -330,6 +374,7 @@ pub fn decode_frame_request(bytes: &[u8]) -> Result<InferenceRequest, ServeError
     let payload = frame_payload(bytes, &REQUEST_MAGIC, "request")?;
     let mut reader = FrameReader::new(payload);
     let seed = reader.u64("seed")?;
+    let deadline_us = reader.u64("deadline_us")?;
     let ndim = reader.u8("ndim")? as usize;
     if ndim == 0 || ndim > MAX_DIMS {
         return Err(ServeError::protocol(format!(
@@ -355,7 +400,7 @@ pub fn decode_frame_request(bytes: &[u8]) -> Result<InferenceRequest, ServeError
     }
     let data = reader.f32s(elements as usize, "tensor data")?;
     reader.finish("tensor data")?;
-    request_from_parts(&shape, data, seed)
+    request_from_parts(&shape, data, seed, deadline_us)
 }
 
 /// Decoded form of a binary response frame, for clients and tests.

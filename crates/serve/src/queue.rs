@@ -148,6 +148,16 @@ impl<T> BoundedQueue<T> {
     pub fn is_closed(&self) -> bool {
         self.state.lock().expect("queue lock poisoned").closed
     }
+
+    /// Whether the queue is closed *and* empty — the terminal state after
+    /// which a consumer's [`BoundedQueue::pop_batch`] returns `false`.
+    /// Monotonic: once true it stays true (a closed queue accepts no
+    /// pushes), so the supervisor can use it to distinguish a worker's
+    /// normal drain-complete exit from an abnormal death.
+    pub fn is_shutdown(&self) -> bool {
+        let state = self.state.lock().expect("queue lock poisoned");
+        state.closed && state.items.is_empty()
+    }
 }
 
 #[cfg(test)]

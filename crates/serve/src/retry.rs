@@ -1,0 +1,202 @@
+//! Client-side retry with jittered, budget-capped exponential backoff.
+//!
+//! A [`RetryPolicy`] retries **only** errors the server itself marks as
+//! retryable ([`ServeError::is_retryable`] — sheds of idempotent work), and
+//! honors the server's [`Retry-After` hint](ServeError::retry_after) as a
+//! lower bound on the wait: retrying earlier than the server said it could
+//! help only adds load to an already-struggling server. Delays grow
+//! exponentially from [`RetryPolicy::base_backoff`] up to
+//! [`RetryPolicy::backoff_cap`] and are jittered into `[delay/2, delay]`
+//! (decorrelating clients that failed together), and the *cumulative* wait
+//! is capped by [`RetryPolicy::budget`] so a retrying client always gives
+//! up in bounded time. The jitter is seeded, so a given client's retry
+//! schedule is reproducible.
+//!
+//! ```
+//! use snn_serve::{RetryPolicy, ServeError};
+//!
+//! let policy = RetryPolicy::new(7);
+//! let mut calls = 0;
+//! let outcome: Result<u32, ServeError> = policy.run(|_attempt| {
+//!     calls += 1;
+//!     if calls < 3 {
+//!         Err(ServeError::Overloaded { depth: 8, limit: 8 })
+//!     } else {
+//!         Ok(42)
+//!     }
+//! });
+//! assert_eq!(outcome.unwrap(), 42);
+//! assert_eq!(calls, 3);
+//! ```
+
+use crate::error::ServeError;
+use crate::fault::splitmix64;
+use std::time::Duration;
+
+/// A jittered exponential-backoff retry policy for serving clients.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (default 4; 1 disables retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry (default 5 ms); doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff delay (default 500 ms).
+    pub backoff_cap: Duration,
+    /// Ceiling on the *cumulative* backoff across all retries of one
+    /// request (default 2 s); the policy gives up rather than exceed it.
+    pub budget: Duration,
+    /// Jitter seed; two clients with different seeds retry at decorrelated
+    /// times.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The default policy (4 attempts, 5 ms base, 500 ms cap, 2 s budget)
+    /// with the given jitter seed.
+    pub fn new(seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(500),
+            budget: Duration::from_secs(2),
+            seed,
+        }
+    }
+
+    /// Sets the total attempt count.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets base backoff, per-delay cap and cumulative budget.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration, budget: Duration) -> Self {
+        self.base_backoff = base;
+        self.backoff_cap = cap;
+        self.budget = budget;
+        self
+    }
+
+    /// The delay before retry number `attempt` (1-based: 1 = first retry),
+    /// given the server's optional `Retry-After` hint. Deterministic in
+    /// `(policy, attempt)`: exponential growth, capped, jittered into
+    /// `[delay/2, delay]`, then floored by the hint.
+    pub fn backoff_for(&self, attempt: u32, retry_after: Option<Duration>) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(
+                1u32.checked_shl(attempt.saturating_sub(1))
+                    .unwrap_or(u32::MAX),
+            )
+            .min(self.backoff_cap);
+        // Jitter into [exp/2, exp] — deterministic per (seed, attempt).
+        let h = splitmix64(self.seed ^ splitmix64(u64::from(attempt)));
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = exp.mul_f64(0.5 + 0.5 * unit);
+        match retry_after {
+            Some(hint) => jittered.max(hint),
+            None => jittered,
+        }
+    }
+
+    /// Runs `op` until it succeeds, fails with a non-retryable error, or
+    /// the policy is exhausted (attempts or budget); returns the last
+    /// outcome. `op` receives the 1-based attempt number.
+    ///
+    /// # Errors
+    ///
+    /// The first non-retryable [`ServeError`], or the last retryable one
+    /// once attempts/budget run out.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        let mut spent = Duration::ZERO;
+        for attempt in 1..=self.max_attempts.max(1) {
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    if !e.is_retryable() || attempt == self.max_attempts {
+                        return Err(e);
+                    }
+                    let delay = self.backoff_for(attempt, e.retry_after());
+                    if spent + delay > self.budget {
+                        // Sleeping past the budget cannot be honored; give
+                        // up with the typed error instead.
+                        return Err(e);
+                    }
+                    std::thread::sleep(delay);
+                    spent += delay;
+                }
+            }
+        }
+        unreachable!("loop returns on the final attempt");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        let policy = RetryPolicy::new(1);
+        let mut calls = 0;
+        let outcome: Result<(), ServeError> = policy.run(|_| {
+            calls += 1;
+            Err(ServeError::protocol("bad frame"))
+        });
+        assert!(matches!(outcome, Err(ServeError::Protocol(_))));
+        assert_eq!(calls, 1, "deterministic rejections must not be retried");
+    }
+
+    #[test]
+    fn retryable_errors_are_retried_up_to_max_attempts() {
+        let policy = RetryPolicy::new(2).with_backoff(
+            Duration::from_micros(10),
+            Duration::from_micros(50),
+            Duration::from_secs(1),
+        );
+        let mut calls = 0;
+        let outcome: Result<(), ServeError> = policy.run(|_| {
+            calls += 1;
+            Err(ServeError::Overloaded { depth: 1, limit: 1 })
+        });
+        assert!(outcome.is_err());
+        assert_eq!(calls, 4, "default policy makes 4 attempts");
+    }
+
+    #[test]
+    fn backoff_grows_is_jittered_and_honors_retry_after() {
+        let policy = RetryPolicy::new(3);
+        let d1 = policy.backoff_for(1, None);
+        let d4 = policy.backoff_for(4, None);
+        assert!(d1 >= policy.base_backoff / 2 && d1 <= policy.base_backoff);
+        assert!(d4 > d1, "backoff grows with the attempt number");
+        assert!(d4 <= policy.backoff_cap);
+        // Determinism: same (seed, attempt) → same delay; different seeds
+        // decorrelate.
+        assert_eq!(d1, RetryPolicy::new(3).backoff_for(1, None));
+        assert_ne!(d1, RetryPolicy::new(4).backoff_for(1, None));
+        // The server's hint is a floor.
+        let hinted = policy.backoff_for(1, Some(Duration::from_secs(3)));
+        assert_eq!(hinted, Duration::from_secs(3));
+    }
+
+    #[test]
+    fn budget_caps_cumulative_backoff() {
+        // Budget below even one base delay: a single failure is final.
+        let policy = RetryPolicy::new(5).with_backoff(
+            Duration::from_millis(50),
+            Duration::from_millis(50),
+            Duration::from_millis(1),
+        );
+        let mut calls = 0;
+        let outcome: Result<(), ServeError> = policy.run(|_| {
+            calls += 1;
+            Err(ServeError::Overloaded { depth: 1, limit: 1 })
+        });
+        assert!(outcome.is_err());
+        assert_eq!(calls, 1, "budget exhaustion stops retries");
+    }
+}

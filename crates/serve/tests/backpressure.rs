@@ -89,6 +89,7 @@ fn burst_sheds_overloaded_while_inflight_completes() {
             queue_capacity: 8,
             high_water: Some(6),
             workers: Some(1),
+            ..ServeConfig::default()
         },
     )
     .unwrap();

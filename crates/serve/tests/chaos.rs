@@ -1,0 +1,342 @@
+//! Chaos suite: the serving core under every injected fault mix, across a
+//! seed matrix. The invariants, whatever the faults do:
+//!
+//! 1. no panic ever escapes `ServeCore` (a failing model must not take the
+//!    test thread, the acceptor, or sibling requests down),
+//! 2. every accepted request gets exactly one *typed* response — no hangs,
+//!    no silent drops,
+//! 3. surviving `Ok` results are bitwise-identical to what the bare model
+//!    computes for the same request (fault injection perturbs scheduling,
+//!    never arithmetic),
+//! 4. worker deaths are observed in `ServeStats` (`model_panics`,
+//!    `worker_restarts`) and the pool keeps serving afterwards,
+//! 5. shutdown always drains: handles in flight at shutdown still resolve.
+
+use snn_core::tensor::Tensor;
+use snn_core::SnnError;
+use snn_serve::{
+    Fault, FaultPlan, FaultyModel, InferenceRequest, InferenceResult, ModelRunner, ResponseHandle,
+    ServeConfig, ServeCore, ServeError, ServeModel,
+};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The seed matrix every fault mix runs under (CI runs the whole suite with
+/// `SNN_THREADS=4`).
+const PLAN_SEEDS: [u64; 4] = [1, 7, 42, 1337];
+
+/// A deterministic base model: logits are a pure function of (image, seed),
+/// so the sequential reference is exact. Records every executed seed.
+#[derive(Clone)]
+struct BaseModel {
+    executed: Arc<Mutex<HashSet<u64>>>,
+}
+
+struct BaseRunner {
+    executed: Arc<Mutex<HashSet<u64>>>,
+}
+
+fn base_logits(request: &InferenceRequest) -> Vec<f32> {
+    let sum: f32 = request.image.as_slice().iter().sum();
+    let mixed = (request.seed.wrapping_mul(0x9E37_79B9) % 1009) as f32;
+    vec![sum + mixed, sum * 0.5 - mixed, mixed - sum]
+}
+
+impl ModelRunner for BaseRunner {
+    fn run_batch(
+        &mut self,
+        requests: Vec<InferenceRequest>,
+    ) -> Vec<Result<InferenceResult, SnnError>> {
+        let mut executed = self.executed.lock().unwrap();
+        requests
+            .into_iter()
+            .map(|r| {
+                executed.insert(r.seed);
+                Ok(InferenceResult::from_logits(base_logits(&r)))
+            })
+            .collect()
+    }
+}
+
+impl ServeModel for BaseModel {
+    type Runner = BaseRunner;
+
+    fn runner(&self) -> BaseRunner {
+        BaseRunner {
+            executed: Arc::clone(&self.executed),
+        }
+    }
+}
+
+fn request(i: u64) -> InferenceRequest {
+    InferenceRequest::seeded(
+        Tensor::from_vec(vec![i as f32 * 0.25, 1.0 - i as f32 * 0.125], &[2]).unwrap(),
+        i,
+    )
+}
+
+/// Drives one chaos round and checks invariants 1–4.
+fn chaos_round(plan: FaultPlan, workers: usize, n_requests: u64) {
+    let executed = Arc::new(Mutex::new(HashSet::new()));
+    let model = FaultyModel::new(
+        BaseModel {
+            executed: Arc::clone(&executed),
+        },
+        plan,
+    );
+    let core = ServeCore::start(
+        model,
+        ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            queue_capacity: 512,
+            workers: Some(workers),
+            restart_backoff: Duration::from_micros(100),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let handles: Vec<(u64, ResponseHandle)> = (0..n_requests)
+        .map(|i| (i, core.submit(request(i)).expect("queue sized for burst")))
+        .collect();
+
+    let mut panicked_batches = 0u64;
+    for (seed, handle) in handles {
+        // Invariant 2: exactly one typed response, within bounded time.
+        let outcome = handle
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|_| panic!("request {seed} hung: no response within 30s"));
+        match (plan.fault_for(seed), outcome) {
+            // Invariant 3: a surviving result is bitwise what the bare
+            // model computes — faults never perturb neighbours' arithmetic.
+            (Fault::None | Fault::Latency(_), Ok(response)) => {
+                assert_eq!(
+                    response.result.logits,
+                    base_logits(&request(seed)),
+                    "request {seed}: surviving result must be bitwise-identical"
+                );
+            }
+            // An unfaulted request may still be collateral of a batch
+            // neighbour's injected panic — but only with a typed error.
+            (Fault::None | Fault::Latency(_), Err(ServeError::ModelPanicked { .. })) => {
+                panicked_batches += 1;
+            }
+            (Fault::Error, Err(ServeError::Model(_) | ServeError::ModelPanicked { .. })) => {}
+            (Fault::Panic, Err(ServeError::ModelPanicked { message })) => {
+                assert!(
+                    message.contains("injected fault"),
+                    "panic payload must surface: {message}"
+                );
+                panicked_batches += 1;
+            }
+            (fault, outcome) => {
+                panic!("request {seed} with fault {fault:?} got unexpected outcome {outcome:?}")
+            }
+        }
+        // Invariant 3 (contrapositive): a request whose plan says Panic
+        // must never have been executed to completion by the model.
+        if plan.fault_for(seed) == Fault::Panic {
+            assert!(
+                !executed.lock().unwrap().contains(&seed),
+                "panic-faulted request {seed} must not produce a model result"
+            );
+        }
+    }
+
+    // Invariant 4: worker deaths are observable and the pool recovered.
+    let stats = core.stats();
+    assert_eq!(stats.submitted, n_requests);
+    if panicked_batches > 0 {
+        assert!(stats.model_panics >= 1, "panics must be counted");
+        assert!(
+            stats.worker_restarts >= 1,
+            "a contained panic costs a worker restart"
+        );
+    }
+    if plan.panic_rate == 0.0 {
+        assert_eq!(stats.model_panics, 0);
+        assert_eq!(stats.worker_restarts, 0);
+    }
+    // The core still serves after all injected chaos: a fresh unfaulted
+    // request (seed chosen fault-free) completes.
+    if let Some(clean) =
+        (n_requests..n_requests + 10_000).find(|&s| plan.fault_for(s) == Fault::None)
+    {
+        let response = core.infer(request(clean)).expect("pool recovered");
+        assert_eq!(response.result.logits, base_logits(&request(clean)));
+    }
+    core.shutdown();
+}
+
+#[test]
+fn model_errors_only() {
+    for seed in PLAN_SEEDS {
+        chaos_round(FaultPlan::new(seed).with_error_rate(0.3), 2, 64);
+    }
+}
+
+#[test]
+fn model_panics_only() {
+    for seed in PLAN_SEEDS {
+        chaos_round(FaultPlan::new(seed).with_panic_rate(0.15), 2, 64);
+    }
+}
+
+#[test]
+fn latency_only() {
+    for seed in PLAN_SEEDS {
+        chaos_round(
+            FaultPlan::new(seed).with_latency(0.3, Duration::from_millis(2)),
+            2,
+            64,
+        );
+    }
+}
+
+#[test]
+fn mixed_fault_storm() {
+    for seed in PLAN_SEEDS {
+        chaos_round(
+            FaultPlan::new(seed)
+                .with_panic_rate(0.1)
+                .with_error_rate(0.2)
+                .with_latency(0.2, Duration::from_millis(1)),
+            3,
+            96,
+        );
+    }
+}
+
+/// Invariant 5: shutdown drains. Requests in flight when `shutdown` is
+/// called still resolve with a typed outcome — even while the model is
+/// panicking under them.
+#[test]
+fn shutdown_always_drains_under_faults() {
+    for seed in PLAN_SEEDS {
+        let plan = FaultPlan::new(seed)
+            .with_panic_rate(0.1)
+            .with_error_rate(0.1);
+        let model = FaultyModel::new(
+            BaseModel {
+                executed: Arc::new(Mutex::new(HashSet::new())),
+            },
+            plan,
+        );
+        let core = Arc::new(
+            ServeCore::start(
+                model,
+                ServeConfig {
+                    max_batch: 4,
+                    max_delay: Duration::from_millis(1),
+                    queue_capacity: 256,
+                    workers: Some(2),
+                    restart_backoff: Duration::from_micros(100),
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let handles: Vec<ResponseHandle> = (0..64)
+            .map(|i| core.submit(request(i)).expect("fits"))
+            .collect();
+        // Shut down from another thread while the burst is in flight.
+        let shutdown = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.shutdown())
+        };
+        for (i, handle) in handles.into_iter().enumerate() {
+            // Ok, Model, ModelPanicked — all fine; hanging is the failure.
+            let _ = handle
+                .wait_timeout(Duration::from_secs(30))
+                .unwrap_or_else(|_| panic!("request {i} hung across shutdown"));
+        }
+        shutdown.join().unwrap();
+    }
+}
+
+/// Idempotent shutdown: a second sequential call and a stampede of
+/// concurrent calls are all no-ops that return once the first completes.
+#[test]
+fn shutdown_is_idempotent_and_race_safe() {
+    let model = BaseModel {
+        executed: Arc::new(Mutex::new(HashSet::new())),
+    };
+    let core = Arc::new(ServeCore::start(model, ServeConfig::default()).unwrap());
+    let response = core.infer(request(1)).expect("serves before shutdown");
+    assert_eq!(response.result.logits, base_logits(&request(1)));
+
+    let racers: Vec<_> = (0..4)
+        .map(|_| {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.shutdown())
+        })
+        .collect();
+    core.shutdown();
+    for racer in racers {
+        racer.join().expect("concurrent shutdown must not panic");
+    }
+    // Sequential repeat after completion: still a no-op.
+    core.shutdown();
+    assert!(matches!(
+        core.submit(request(2)),
+        Err(ServeError::ShuttingDown)
+    ));
+}
+
+/// A model that cannot even construct its runner: the supervisor must not
+/// respawn forever — it declares the model wedged, fails the backlog with
+/// typed errors, and shutdown still returns.
+#[test]
+fn wedged_model_fails_backlog_instead_of_hanging() {
+    struct WedgedModel;
+    struct NeverRunner;
+    impl ModelRunner for NeverRunner {
+        fn run_batch(
+            &mut self,
+            _requests: Vec<InferenceRequest>,
+        ) -> Vec<Result<InferenceResult, SnnError>> {
+            unreachable!("runner construction always panics")
+        }
+    }
+    impl ServeModel for WedgedModel {
+        type Runner = NeverRunner;
+        fn runner(&self) -> NeverRunner {
+            panic!("injected fault: runner construction failure");
+        }
+    }
+
+    let core = ServeCore::start(
+        WedgedModel,
+        ServeConfig {
+            workers: Some(2),
+            restart_backoff: Duration::from_micros(50),
+            restart_backoff_cap: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handles: Vec<ResponseHandle> = (0..8)
+        .filter_map(|i| core.submit(request(i)).ok())
+        .collect();
+    assert!(
+        !handles.is_empty(),
+        "queue accepts before the wedge verdict"
+    );
+    for (i, handle) in handles.into_iter().enumerate() {
+        let outcome = handle
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|_| panic!("request {i} hung on a wedged model"));
+        assert!(
+            matches!(
+                outcome,
+                Err(ServeError::ModelPanicked { .. } | ServeError::ShuttingDown)
+            ),
+            "wedged backlog must fail typed, got {outcome:?}"
+        );
+    }
+    let stats = core.stats();
+    assert!(stats.worker_restarts >= 1, "deaths were observed");
+    core.shutdown();
+}

@@ -12,6 +12,7 @@ use snn_serve::protocol::{
     REQUEST_MAGIC,
 };
 use snn_serve::{InferenceRequest, InferenceResult, ServeError, ServedResponse};
+use std::time::Duration;
 
 /// A legal random request: 1–4 dims of 1–4 each, matching data.
 fn sample_request(shape: &[usize], fill: &[f32], seed: u64) -> InferenceRequest {
@@ -37,13 +38,52 @@ proptest! {
         dims in collection::vec(1_usize..5, 1..5),
         fill in collection::vec(-100.0_f32..100.0, 1..8),
         seed in any::<u64>(),
+        deadline_us in 0_u64..=10_000_000,
     ) {
-        let request = sample_request(&dims, &fill, seed);
+        let mut request = sample_request(&dims, &fill, seed);
+        if deadline_us > 0 {
+            request = request.with_deadline(Duration::from_micros(deadline_us));
+        }
         let encoded = encode_frame_request(&request);
         let decoded = decode_frame_request(&encoded).expect("legal frame decodes");
         prop_assert_eq!(decoded.seed, request.seed);
+        prop_assert_eq!(decoded.deadline, request.deadline);
         prop_assert_eq!(decoded.image.shape(), request.image.shape());
         prop_assert_eq!(decoded.image.as_slice(), request.image.as_slice());
+    }
+
+    /// The wire deadline field under hostile values: every u64 bit pattern
+    /// must decode without panicking, 0 must mean "no deadline", and the
+    /// JSON field must accept absence, zero and huge values alike.
+    #[test]
+    fn wire_deadline_field_is_hostile_proof(
+        raw_deadline in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let request = sample_request(&[2], &[0.5], seed);
+        let mut encoded = encode_frame_request(&request);
+        // The deadline field sits right after the 8-byte header and the
+        // 8-byte seed; overwrite it with an arbitrary bit pattern.
+        encoded[16..24].copy_from_slice(&raw_deadline.to_le_bytes());
+        let decoded = decode_frame_request(&encoded).expect("frame stays legal");
+        match raw_deadline {
+            0 => prop_assert_eq!(decoded.deadline, None),
+            us => prop_assert_eq!(decoded.deadline, Some(Duration::from_micros(us))),
+        }
+        let body = format!(
+            "{{\"shape\": [2], \"data\": [0.5, 0.5], \"deadline_us\": {raw_deadline}}}"
+        );
+        let decoded = decode_json_request(body.as_bytes()).expect("body stays legal");
+        match raw_deadline {
+            0 => prop_assert_eq!(decoded.deadline, None),
+            us => prop_assert_eq!(decoded.deadline, Some(Duration::from_micros(us))),
+        }
+        // A non-numeric deadline is a typed protocol error, not a panic.
+        let bad = b"{\"shape\": [1], \"data\": [1.0], \"deadline_us\": \"soon\"}";
+        prop_assert!(matches!(
+            decode_json_request(bad),
+            Err(ServeError::Protocol(_))
+        ));
     }
 
     #[test]
@@ -154,6 +194,7 @@ fn oversized_declared_sizes_are_refused_before_allocation() {
     // 2. Consistent payload_len, but dims multiplying past MAX_ELEMENTS.
     let mut payload = Vec::new();
     payload.extend_from_slice(&7_u64.to_le_bytes()); // seed
+    payload.extend_from_slice(&0_u64.to_le_bytes()); // deadline_us (none)
     payload.push(4); // ndim
     for _ in 0..4 {
         payload.extend_from_slice(&4096_u32.to_le_bytes()); // 4096^4 >> MAX_ELEMENTS
@@ -169,7 +210,8 @@ fn oversized_declared_sizes_are_refused_before_allocation() {
 
     // 3. Too many dimensions.
     let mut payload = Vec::new();
-    payload.extend_from_slice(&0_u64.to_le_bytes());
+    payload.extend_from_slice(&0_u64.to_le_bytes()); // seed
+    payload.extend_from_slice(&0_u64.to_le_bytes()); // deadline_us (none)
     payload.push((MAX_DIMS + 1) as u8);
     for _ in 0..=MAX_DIMS {
         payload.extend_from_slice(&1_u32.to_le_bytes());

@@ -1,0 +1,132 @@
+//! Facade-level chaos: the real `Engine` behind a seeded `FaultPlan`.
+//! Injected panics, model errors and latency must stay contained to their
+//! own requests — and every request that survives the storm must return
+//! logits and spike traces bitwise-identical to a sequential
+//! `Session::run_seeded` call, because fault injection (like batching)
+//! perturbs scheduling, never arithmetic.
+
+use snn::core::encoding::Encoder;
+use snn::core::network::{vgg9, Vgg9Config};
+use snn::core::tensor::Tensor;
+use snn::serve::{
+    Fault, FaultPlan, FaultyModel, InferenceRequest, ResponseHandle, ServeConfig, ServeCore,
+    ServeError,
+};
+use snn::{Engine, Precision, RunReport};
+use std::time::Duration;
+
+fn engine(threads: usize) -> Engine {
+    Engine::builder()
+        .network(vgg9(&Vgg9Config::cifar10_small()).unwrap())
+        .encoder(Encoder::direct(2))
+        .precision(Precision::Int4)
+        .hardware_allocation("serve-chaos", &[1, 4, 2, 4, 2, 4, 4, 2, 1])
+        .threads(threads)
+        .build()
+        .unwrap()
+}
+
+fn test_image(i: usize) -> Tensor {
+    Tensor::from_fn(&[3, 16, 16], move |p| {
+        (((p + 131 * i) as f32) * 0.017).sin().abs()
+    })
+}
+
+fn sequential_reports(engine: &Engine, images: &[Tensor], seeds: &[u64]) -> Vec<RunReport> {
+    let mut session = engine.session();
+    images
+        .iter()
+        .zip(seeds)
+        .map(|(image, &seed)| session.run_seeded(image, seed).unwrap())
+        .collect()
+}
+
+#[test]
+fn survivors_of_an_engine_fault_storm_stay_bitwise_deterministic() {
+    let engine = engine(2);
+    let n = 10;
+    let images: Vec<Tensor> = (0..n).map(test_image).collect();
+    let seeds: Vec<u64> = (0..n as u64).map(|i| 2000 + i * 13).collect();
+    let expected = sequential_reports(&engine, &images, &seeds);
+
+    for plan_seed in [7_u64, 1337] {
+        let plan = FaultPlan::new(plan_seed)
+            .with_panic_rate(0.15)
+            .with_error_rate(0.15)
+            .with_latency(0.2, Duration::from_millis(1));
+        let core = ServeCore::start(
+            FaultyModel::new(engine.clone(), plan),
+            ServeConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(2),
+                queue_capacity: 64,
+                workers: Some(2),
+                restart_backoff: Duration::from_micros(200),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+
+        let handles: Vec<ResponseHandle> = images
+            .iter()
+            .zip(&seeds)
+            .map(|(image, &seed)| {
+                core.submit(InferenceRequest::seeded(image.clone(), seed))
+                    .expect("queue sized for the burst")
+            })
+            .collect();
+
+        let mut injected_panics = 0;
+        for (i, handle) in handles.into_iter().enumerate() {
+            let seed = seeds[i];
+            let outcome = handle
+                .wait_timeout(Duration::from_secs(120))
+                .unwrap_or_else(|_| panic!("plan {plan_seed}: request {i} hung"));
+            match (plan.fault_for(seed), outcome) {
+                (Fault::None | Fault::Latency(_), Ok(response)) => {
+                    let want = &expected[i];
+                    assert_eq!(
+                        response.result.logits, want.logits,
+                        "plan {plan_seed}, request {i}: surviving logits must be \
+                         bitwise-identical to run_seeded"
+                    );
+                    assert_eq!(response.result.prediction, want.prediction);
+                    assert_eq!(
+                        response.result.traces, want.traces,
+                        "plan {plan_seed}, request {i}: spike traces must match bitwise"
+                    );
+                }
+                // Collateral of a batch neighbour's injected panic.
+                (Fault::None | Fault::Latency(_), Err(ServeError::ModelPanicked { .. })) => {
+                    injected_panics += 1;
+                }
+                (Fault::Error, Err(ServeError::Model(_) | ServeError::ModelPanicked { .. })) => {}
+                (Fault::Panic, Err(ServeError::ModelPanicked { .. })) => injected_panics += 1,
+                (fault, outcome) => panic!(
+                    "plan {plan_seed}, request {i} (fault {fault:?}): unexpected {outcome:?}"
+                ),
+            }
+        }
+
+        let stats = core.stats();
+        assert_eq!(stats.submitted, n as u64);
+        if injected_panics > 0 {
+            assert!(stats.model_panics >= 1);
+            assert!(stats.worker_restarts >= 1, "worker deaths must be observed");
+        }
+
+        // The pool recovered: a fault-free request after the storm is still
+        // bitwise-correct against a fresh sequential reference.
+        let clean_seed = (10_000..20_000)
+            .find(|&s| plan.fault_for(s) == Fault::None)
+            .expect("a fault-free seed exists");
+        let image = test_image(99);
+        let want = sequential_reports(&engine, std::slice::from_ref(&image), &[clean_seed]);
+        let response = core
+            .infer(InferenceRequest::seeded(image, clean_seed))
+            .expect("pool serves after the storm");
+        assert_eq!(response.result.logits, want[0].logits);
+        assert_eq!(response.result.traces, want[0].traces);
+        core.shutdown();
+    }
+}
