@@ -26,8 +26,8 @@ use snn::core::encoding::Encoder;
 use snn::core::network::{vgg9, Vgg9Config};
 use snn::core::tensor::Tensor;
 use snn::serve::{
-    FaultPlan, FaultyModel, InferenceRequest, ResponseHandle, RetryPolicy, ServeConfig, ServeCore,
-    ServeError,
+    FaultPlan, FaultyModel, InferenceRequest, ModelZoo, ResponseHandle, RetryPolicy, ServeConfig,
+    ServeCore, ServeError, ZooConfig,
 };
 use snn::{Engine, Precision};
 use std::cmp::Reverse;
@@ -131,6 +131,67 @@ fn run_arm(engine: &Engine, arm: &Arm, duration: Duration) -> ArmResult {
     let elapsed = started.elapsed();
     let stats = core.stats();
     core.shutdown();
+    ArmResult {
+        completed_rps: stats.completed as f64 / elapsed.as_secs_f64(),
+        shed,
+        p50_us: stats.latency_p50_us,
+        p99_us: stats.latency_p99_us,
+        mean_batch: stats.mean_batch,
+    }
+}
+
+/// Same open loop as [`run_arm`], but through a one-model [`ModelZoo`]
+/// with the request routed by name — so the measurement includes the full
+/// registry data plane: name lookup, the per-batch epoch check of the
+/// swappable runner, and the per-result drift observation.
+fn run_zoo_arm(engine: &Engine, arm: &Arm, duration: Duration) -> ArmResult {
+    let zoo = ModelZoo::new();
+    zoo.register(
+        "primary",
+        "v1",
+        engine.clone(),
+        ZooConfig {
+            serve: ServeConfig {
+                max_batch: arm.max_batch,
+                max_delay: Duration::from_millis(1),
+                queue_capacity: 256,
+                ..ServeConfig::default()
+            },
+            ..ZooConfig::default()
+        },
+    )
+    .expect("zoo registers");
+    let interval = Duration::from_nanos(1_000_000_000 / arm.offered_rps.max(1));
+    let images: Vec<Tensor> = (0..16).map(test_image).collect();
+
+    let started = Instant::now();
+    let mut next = started;
+    let mut submitted = 0u64;
+    let mut shed = 0u64;
+    let mut last_handle = None;
+    while started.elapsed() < duration {
+        pace_until(next);
+        next += interval;
+        let image = images[(submitted % images.len() as u64) as usize].clone();
+        let request = InferenceRequest::seeded(image, submitted).with_model("primary");
+        match zoo.submit(request) {
+            Ok(handle) => {
+                submitted += 1;
+                last_handle = Some(handle);
+            }
+            Err(ServeError::Overloaded { .. }) => {
+                submitted += 1;
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    if let Some(handle) = last_handle {
+        let _ = handle.wait();
+    }
+    let elapsed = started.elapsed();
+    let stats = zoo.stats().models["primary"].serve.clone();
+    zoo.shutdown();
     ArmResult {
         completed_rps: stats.completed as f64 / elapsed.as_secs_f64(),
         shed,
@@ -442,6 +503,72 @@ fn main() {
             append_bench_json(&arm, &result);
         }
     }
+
+    // Registry routing overhead: the 2000-rps batch8 arm again, but routed
+    // by name through a one-model ModelZoo (registry lookup + epoch-pinned
+    // runner + drift observation on every result). The registry is control
+    // plane only — the data plane must stay within host noise of the bare
+    // core, which the assertion below enforces so the CI smoke catches a
+    // hot-path regression (a lock on the submit path, say) the moment it
+    // lands.
+    let overhead_arm = Arm {
+        config_label: "zoo_batch8",
+        max_batch: 8,
+        offered_rps: 2_000,
+    };
+    let bare = median(
+        (0..reps)
+            .map(|_| run_arm(&engine, &overhead_arm, duration).completed_rps)
+            .collect(),
+    );
+    let zoo_runs: Vec<ArmResult> = (0..reps)
+        .map(|_| run_zoo_arm(&engine, &overhead_arm, duration))
+        .collect();
+    let zoo_result = ArmResult {
+        completed_rps: median(zoo_runs.iter().map(|r| r.completed_rps).collect()),
+        shed: {
+            let mut v: Vec<u64> = zoo_runs.iter().map(|r| r.shed).collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        },
+        p50_us: {
+            let mut v: Vec<u64> = zoo_runs.iter().map(|r| r.p50_us).collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        },
+        p99_us: {
+            let mut v: Vec<u64> = zoo_runs.iter().map(|r| r.p99_us).collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        },
+        mean_batch: median(zoo_runs.iter().map(|r| r.mean_batch).collect()),
+    };
+    println!("\nserve_load: zoo routing overhead (one model, name-routed, vs bare core)");
+    println!(
+        "{:<10} {:>12} {:>14} {:>8} {:>10} {:>10} {:>10}",
+        "config", "offered_rps", "completed_rps", "shed", "p50_us", "p99_us", "mean_batch"
+    );
+    println!(
+        "{:<10} {:>12} {:>14.1} {:>8} {:>10} {:>10} {:>10.2}",
+        "bare_batch8", overhead_arm.offered_rps, bare, "-", "-", "-", "-"
+    );
+    println!(
+        "{:<10} {:>12} {:>14.1} {:>8} {:>10} {:>10} {:>10.2}",
+        overhead_arm.config_label,
+        overhead_arm.offered_rps,
+        zoo_result.completed_rps,
+        zoo_result.shed,
+        zoo_result.p50_us,
+        zoo_result.p99_us,
+        zoo_result.mean_batch,
+    );
+    append_bench_json(&overhead_arm, &zoo_result);
+    assert!(
+        zoo_result.completed_rps >= 0.85 * bare,
+        "zoo routing must be within host noise of the bare core \
+         (zoo {:.1} rps vs bare {bare:.1} rps)",
+        zoo_result.completed_rps,
+    );
 
     // Goodput under faults: offered load beyond capacity, 10% injected
     // faults (8% model errors + 2% panics), the generator retrying with

@@ -205,6 +205,380 @@ impl LogHistogram {
         self.min = u64::MAX;
         self.max = 0;
     }
+
+    /// Removes one previously [`record`](LogHistogram::record)ed value,
+    /// making the histogram a *sliding-window* structure when paired with a
+    /// ring buffer of the values currently in the window (the drift tracker
+    /// does exactly this). The bucket count, total count and sum are
+    /// adjusted exactly; `min`/`max` keep **high-watermark semantics** (they
+    /// are not recomputed — they still bound everything ever recorded).
+    ///
+    /// Forgetting a value that was never recorded saturates at zero instead
+    /// of underflowing; the histogram stays internally consistent either
+    /// way.
+    pub fn forget(&mut self, value: u64) {
+        let bucket = &mut self.counts[Self::index(value)];
+        if *bucket == 0 || self.count == 0 {
+            return;
+        }
+        *bucket -= 1;
+        self.count -= 1;
+        self.sum = self.sum.saturating_sub(value as u128);
+    }
+
+    /// Jeffreys pseudo-count added to every octave group by
+    /// [`LogHistogram::kl_divergence`], so no probability is ever zero and
+    /// the divergence is always finite.
+    const KL_PSEUDO_COUNT: f64 = 0.5;
+
+    /// Kullback–Leibler divergence `KL(self ‖ baseline)` in nats between
+    /// the two histograms' value distributions, compared at **octave
+    /// granularity**.
+    ///
+    /// Sub-buckets are folded into their power-of-two octave (60 groups
+    /// over the full `u64` range) before comparing. The fine 3% sub-bucket
+    /// resolution is right for quantiles but wrong for drift: with small
+    /// sample windows, mass landing one sub-bucket away from where the
+    /// baseline sampled would register as spurious divergence, while the
+    /// distribution shifts that actually invalidate the accelerator's
+    /// activity-calibrated estimates are ≥2× — a whole octave or more.
+    ///
+    /// Each group is smoothed with a Jeffreys pseudo-count
+    /// (`KL_PSEUDO_COUNT`, 0.5) before normalisation, so the
+    /// result is **always finite and never NaN** — including when one or
+    /// both histograms are empty, when all mass sits in a single bucket
+    /// (e.g. a layer with a zero spike rate recording only zeros), or when
+    /// the supports are disjoint. Two empty histograms diverge by exactly
+    /// `0.0`, and any histogram against itself by ~`0.0` (floating-point
+    /// rounding only). Both guarantees are proptested.
+    ///
+    /// The drift tracker compares a sliding window of recent per-layer
+    /// spike rates against a calibration baseline with this; a divergence
+    /// above its threshold marks the model Degraded.
+    pub fn kl_divergence(&self, baseline: &LogHistogram) -> f64 {
+        if self.count == 0 && baseline.count == 0 {
+            return 0.0;
+        }
+        const GROUPS: usize = BUCKETS / SUB_BUCKETS;
+        let eps = Self::KL_PSEUDO_COUNT;
+        let p_total = self.count as f64 + eps * GROUPS as f64;
+        let q_total = baseline.count as f64 + eps * GROUPS as f64;
+        let mut kl = 0.0;
+        for (p_chunk, q_chunk) in self
+            .counts
+            .chunks_exact(SUB_BUCKETS)
+            .zip(baseline.counts.chunks_exact(SUB_BUCKETS))
+        {
+            let p_count: u64 = p_chunk.iter().sum();
+            let q_count: u64 = q_chunk.iter().sum();
+            let p = (p_count as f64 + eps) / p_total;
+            let q = (q_count as f64 + eps) / q_total;
+            kl += p * (p / q).ln();
+        }
+        // Smoothing keeps every term finite; rounding can leave the sum a
+        // hair below zero, which the clamp removes (KL is non-negative).
+        kl.max(0.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming spike-rate drift tracking
+// ---------------------------------------------------------------------------
+
+/// Fixed-point scale of a spike *rate* (spikes per neuron per timestep,
+/// a fraction in `[0, 1]`) as recorded into a [`LogHistogram`]:
+/// `rate_q = spikes * RATE_SCALE / (neurons * timesteps)`, i.e. spikes per
+/// mebi-neuron-timestep. The log-bucketed histogram then resolves rates
+/// down to ~1e-6 with bounded relative error.
+pub const RATE_SCALE: u64 = 1 << 20;
+
+/// Configuration of a [`DriftTracker`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftConfig {
+    /// Runs folded into the calibration baseline before monitoring starts
+    /// (default 32). The baseline freezes after this many observations.
+    pub calibration: usize,
+    /// Sliding-window length in runs compared against the baseline
+    /// (default 64).
+    pub window: usize,
+    /// Minimum window fill before a drift verdict is rendered (default 16):
+    /// below this, [`DriftStatus::drifted`] is always `false` so a couple
+    /// of outlier runs cannot flap the health state.
+    pub min_window: usize,
+    /// KL-divergence threshold in nats above which a layer counts as
+    /// drifted (default 0.5).
+    pub threshold: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            calibration: 32,
+            window: 64,
+            min_window: 16,
+            threshold: 0.5,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SnnError::InvalidConfig`] for a zero calibration, window or
+    /// `min_window`, a `min_window` above the window, or a non-positive /
+    /// non-finite threshold.
+    pub fn validated(&self) -> Result<(), crate::SnnError> {
+        if self.calibration == 0 {
+            return Err(crate::SnnError::config(
+                "calibration",
+                "the drift baseline needs at least one calibration run",
+            ));
+        }
+        if self.window == 0 || self.min_window == 0 || self.min_window > self.window {
+            return Err(crate::SnnError::config(
+                "window",
+                format!(
+                    "drift window must satisfy 1 <= min_window <= window, got min_window {} \
+                     window {}",
+                    self.min_window, self.window
+                ),
+            ));
+        }
+        if !self.threshold.is_finite() || self.threshold <= 0.0 {
+            return Err(crate::SnnError::config(
+                "threshold",
+                format!(
+                    "drift threshold must be a positive finite KL, got {}",
+                    self.threshold
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-layer state of a [`DriftTracker`]: the frozen calibration histogram,
+/// the sliding-window histogram, and the ring of quantized rates currently
+/// in the window (so the oldest can be forgotten exactly).
+#[derive(Debug, Clone)]
+struct LayerDrift {
+    name: String,
+    baseline: LogHistogram,
+    window: LogHistogram,
+    /// Ring buffer of the window's quantized rates; capacity fixed at
+    /// construction, so steady-state observation never allocates.
+    ring: std::collections::VecDeque<u64>,
+}
+
+/// Drift verdict snapshot of a [`DriftTracker`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftStatus {
+    /// Whether the calibration baseline has frozen (monitoring is active).
+    pub calibrated: bool,
+    /// Total runs observed (calibration + monitored).
+    pub observed: u64,
+    /// Runs currently in the sliding window.
+    pub window_fill: usize,
+    /// Largest per-layer KL divergence of the window against the baseline
+    /// (0.0 until the window holds `min_window` runs).
+    pub max_kl: f64,
+    /// Name of the layer with the largest divergence, when monitoring has
+    /// a verdict.
+    pub worst_layer: Option<String>,
+    /// Whether `max_kl` exceeds the configured threshold.
+    pub drifted: bool,
+}
+
+impl DriftStatus {
+    fn idle(calibrated: bool, observed: u64, window_fill: usize) -> Self {
+        DriftStatus {
+            calibrated,
+            observed,
+            window_fill,
+            max_kl: 0.0,
+            worst_layer: None,
+            drifted: false,
+        }
+    }
+}
+
+/// A streaming per-layer spike-rate drift tracker: the fidelity guard the
+/// accelerator's latency/energy estimates need.
+///
+/// The hardware model folds per-layer spike counts into cycle and energy
+/// estimates that were calibrated against a *particular* activity
+/// distribution; if the serving traffic drifts (different input statistics,
+/// a mis-trained hot-swapped model), those estimates silently stop meaning
+/// anything. The tracker makes the drift observable:
+///
+/// 1. The first [`DriftConfig::calibration`] observed runs freeze a
+///    per-layer **baseline** histogram of quantized spike rates
+///    (spikes per neuron-timestep, scaled by [`RATE_SCALE`]).
+/// 2. Every later run is folded into a per-layer **sliding window**
+///    (ring-buffered, [`LogHistogram::forget`]ting the oldest run — no
+///    allocation in steady state).
+/// 3. [`DriftTracker::status`] reports the largest per-layer
+///    [`LogHistogram::kl_divergence`] of window vs. baseline; above
+///    [`DriftConfig::threshold`] the run stream counts as **drifted** and
+///    the serving registry flips the model's health to Degraded.
+///
+/// Layer topology is learned from the first observation; later records with
+/// a different layer count are ignored (a swapped model gets a fresh
+/// tracker via [`DriftTracker::reset`]).
+///
+/// # Example
+///
+/// ```
+/// use snn_core::spike::SpikeRecord;
+/// use snn_core::stats::{DriftConfig, DriftTracker};
+///
+/// let config = DriftConfig { calibration: 4, window: 8, min_window: 4, threshold: 0.5 };
+/// let mut tracker = DriftTracker::new(config).unwrap();
+/// let mut record = SpikeRecord::new(2);
+/// record.push_layer("conv1", 0, 100, 1024);
+/// for _ in 0..4 {
+///     tracker.observe(&record); // calibration
+/// }
+/// for _ in 0..8 {
+///     tracker.observe(&record); // monitored window, same distribution
+/// }
+/// let status = tracker.status();
+/// assert!(status.calibrated);
+/// assert!(!status.drifted);
+/// assert!(status.max_kl < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftTracker {
+    config: DriftConfig,
+    layers: Vec<LayerDrift>,
+    observed: u64,
+    calibrating_seen: usize,
+    /// Cached verdict, recomputed on observe (so health transitions happen
+    /// on the serving path, not only when somebody polls `/v1/stats`).
+    current: DriftStatus,
+}
+
+impl DriftTracker {
+    /// Creates a tracker in the calibrating state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DriftConfig::validated`].
+    pub fn new(config: DriftConfig) -> Result<Self, crate::SnnError> {
+        config.validated()?;
+        Ok(DriftTracker {
+            current: DriftStatus::idle(false, 0, 0),
+            config,
+            layers: Vec::new(),
+            observed: 0,
+            calibrating_seen: 0,
+        })
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Quantizes one layer's spike rate for histogram recording.
+    fn rate_q(spikes: u64, neurons: u64, timesteps: usize) -> u64 {
+        let slots = neurons.saturating_mul(timesteps as u64).max(1);
+        spikes.saturating_mul(RATE_SCALE) / slots
+    }
+
+    /// Folds one run's per-layer spike record into the tracker. Records
+    /// with no layers (stub models) or a layer count different from the
+    /// calibrated topology are ignored.
+    pub fn observe(&mut self, record: &SpikeRecord) {
+        if record.num_layers() == 0 {
+            return;
+        }
+        if self.layers.is_empty() {
+            self.layers = record
+                .layer_names
+                .iter()
+                .map(|name| LayerDrift {
+                    name: name.clone(),
+                    baseline: LogHistogram::new(),
+                    window: LogHistogram::new(),
+                    ring: std::collections::VecDeque::with_capacity(self.config.window),
+                })
+                .collect();
+        } else if self.layers.len() != record.num_layers() {
+            return;
+        }
+        self.observed += 1;
+        let calibrating = self.calibrating_seen < self.config.calibration;
+        for (layer, ((&spikes, &neurons), _)) in self.layers.iter_mut().zip(
+            record
+                .output_spikes
+                .iter()
+                .zip(record.output_neurons.iter())
+                .zip(record.layer_names.iter()),
+        ) {
+            let rate = Self::rate_q(spikes, neurons, record.timesteps);
+            if calibrating {
+                layer.baseline.record(rate);
+            } else {
+                if layer.ring.len() == self.config.window {
+                    if let Some(oldest) = layer.ring.pop_front() {
+                        layer.window.forget(oldest);
+                    }
+                }
+                layer.ring.push_back(rate);
+                layer.window.record(rate);
+            }
+        }
+        if calibrating {
+            self.calibrating_seen += 1;
+        }
+        self.current = self.compute_status();
+    }
+
+    fn compute_status(&self) -> DriftStatus {
+        let calibrated = self.calibrating_seen >= self.config.calibration;
+        let window_fill = self.layers.first().map_or(0, |l| l.ring.len());
+        if !calibrated || window_fill < self.config.min_window {
+            return DriftStatus::idle(calibrated, self.observed, window_fill);
+        }
+        let mut max_kl = 0.0_f64;
+        let mut worst: Option<&str> = None;
+        for layer in &self.layers {
+            let kl = layer.window.kl_divergence(&layer.baseline);
+            if kl > max_kl || worst.is_none() {
+                max_kl = kl;
+                worst = Some(&layer.name);
+            }
+        }
+        DriftStatus {
+            calibrated,
+            observed: self.observed,
+            window_fill,
+            max_kl,
+            worst_layer: worst.map(str::to_string),
+            drifted: max_kl > self.config.threshold,
+        }
+    }
+
+    /// The current drift verdict (cached from the last
+    /// [`DriftTracker::observe`]).
+    pub fn status(&self) -> DriftStatus {
+        self.current.clone()
+    }
+
+    /// Forgets everything — baseline, window and topology — returning the
+    /// tracker to the calibrating state. The serving registry calls this on
+    /// every hot-swap and rollback: the baseline describes one deployed
+    /// version's steady state, so a new (or restored) version recalibrates
+    /// against its own traffic rather than inheriting a stale baseline.
+    pub fn reset(&mut self) {
+        self.layers.clear();
+        self.observed = 0;
+        self.calibrating_seen = 0;
+        self.current = DriftStatus::idle(false, 0, 0);
+    }
 }
 
 /// Workload of one weight layer as defined by Eq. 3.
@@ -399,6 +773,7 @@ mod tests {
     use crate::encoding::Encoder;
     use crate::network::{vgg9, Vgg9Config};
     use crate::tensor::Tensor;
+    use proptest::prelude::*;
 
     fn sample_traces() -> Vec<LayerTrace> {
         let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
@@ -571,6 +946,226 @@ mod tests {
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.quantile(0.0), 0);
         assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn forget_round_trips_record() {
+        let mut h = LogHistogram::new();
+        let values = [0u64, 3, 31, 32, 1000, u64::MAX];
+        for &v in &values {
+            h.record(v);
+        }
+        let snapshot = h.clone();
+        h.record(77);
+        h.forget(77);
+        assert_eq!(h.count(), snapshot.count());
+        assert_eq!(h.sum, snapshot.sum);
+        assert_eq!(h.counts, snapshot.counts);
+        // Forgetting a value that was never recorded is a no-op.
+        h.forget(12345);
+        assert_eq!(h.counts, snapshot.counts);
+        for &v in &values {
+            h.forget(v);
+        }
+        assert!(h.is_empty());
+        assert_eq!(h.sum, 0);
+    }
+
+    #[test]
+    fn kl_divergence_zero_for_identical_and_empty() {
+        let empty = LogHistogram::new();
+        assert_eq!(empty.kl_divergence(&empty), 0.0);
+        let mut h = LogHistogram::new();
+        for v in [5u64, 9, 9, 1000, 4096] {
+            h.record(v);
+        }
+        let kl = h.kl_divergence(&h.clone());
+        assert!(kl.abs() < 1e-9, "self-KL should be ~0, got {kl}");
+    }
+
+    #[test]
+    fn kl_divergence_finite_on_disjoint_and_one_empty() {
+        let mut low = LogHistogram::new();
+        let mut high = LogHistogram::new();
+        for _ in 0..100 {
+            low.record(1);
+            high.record(1 << 40);
+        }
+        let kl = low.kl_divergence(&high);
+        assert!(
+            kl.is_finite() && kl > 0.0,
+            "disjoint KL should be finite positive, got {kl}"
+        );
+        let empty = LogHistogram::new();
+        assert!(low.kl_divergence(&empty).is_finite());
+        assert!(empty.kl_divergence(&low).is_finite());
+        assert!(empty.kl_divergence(&low) >= 0.0);
+    }
+
+    #[test]
+    fn kl_divergence_separates_shifted_from_matching() {
+        let mut baseline = LogHistogram::new();
+        let mut same = LogHistogram::new();
+        let mut shifted = LogHistogram::new();
+        for i in 0..200u64 {
+            baseline.record(1000 + i % 50);
+            same.record(1000 + (i * 7) % 50);
+            shifted.record(8000 + i % 50);
+        }
+        let kl_same = same.kl_divergence(&baseline);
+        let kl_shifted = shifted.kl_divergence(&baseline);
+        assert!(
+            kl_same < kl_shifted,
+            "same {kl_same} vs shifted {kl_shifted}"
+        );
+        assert!(kl_shifted > 0.5);
+    }
+
+    fn drift_record(timesteps: usize, spikes: &[u64]) -> SpikeRecord {
+        let mut rec = SpikeRecord::new(timesteps);
+        for (i, &s) in spikes.iter().enumerate() {
+            rec.push_layer(format!("layer{i}"), 0, s, 1024);
+        }
+        rec
+    }
+
+    fn small_drift_config() -> DriftConfig {
+        DriftConfig {
+            calibration: 8,
+            window: 16,
+            min_window: 8,
+            threshold: 0.5,
+        }
+    }
+
+    #[test]
+    fn drift_config_rejects_degenerate_values() {
+        assert!(DriftConfig::default().validated().is_ok());
+        let bad = |f: fn(&mut DriftConfig)| {
+            let mut c = DriftConfig::default();
+            f(&mut c);
+            c.validated().is_err()
+        };
+        assert!(bad(|c| c.calibration = 0));
+        assert!(bad(|c| c.window = 0));
+        assert!(bad(|c| c.min_window = 0));
+        assert!(bad(|c| c.min_window = c.window + 1));
+        assert!(bad(|c| c.threshold = 0.0));
+        assert!(bad(|c| c.threshold = f64::NAN));
+        assert!(bad(|c| c.threshold = -1.0));
+    }
+
+    #[test]
+    fn drift_tracker_stays_healthy_on_stationary_traffic() {
+        let mut tracker = DriftTracker::new(small_drift_config()).unwrap();
+        for i in 0..64u64 {
+            tracker.observe(&drift_record(4, &[400 + i % 16, 90 + i % 8]));
+        }
+        let status = tracker.status();
+        assert!(status.calibrated);
+        assert_eq!(status.observed, 64);
+        assert!(!status.drifted, "stationary traffic flagged: {status:?}");
+        assert!(status.max_kl.is_finite());
+        assert!(status.worst_layer.is_some());
+    }
+
+    #[test]
+    fn drift_tracker_flags_shift_and_names_layer_then_reset_clears() {
+        let mut tracker = DriftTracker::new(small_drift_config()).unwrap();
+        // Calibrate + settle on a stationary distribution.
+        for i in 0..32u64 {
+            tracker.observe(&drift_record(4, &[400 + i % 16, 90 + i % 8]));
+        }
+        assert!(!tracker.status().drifted);
+        // Layer 1's rate collapses by 10x — within one window, flagged.
+        for i in 0..16u64 {
+            tracker.observe(&drift_record(4, &[400 + i % 16, 9 + i % 2]));
+        }
+        let status = tracker.status();
+        assert!(status.drifted, "shift not flagged: {status:?}");
+        assert!(status.max_kl > 0.5);
+        assert_eq!(status.worst_layer.as_deref(), Some("layer1"));
+        // Reset (swap/rollback semantics) returns to calibrating, undrifted.
+        tracker.reset();
+        let status = tracker.status();
+        assert!(!status.calibrated);
+        assert!(!status.drifted);
+        assert_eq!(status.observed, 0);
+    }
+
+    #[test]
+    fn drift_tracker_ignores_empty_and_mismatched_records() {
+        let mut tracker = DriftTracker::new(small_drift_config()).unwrap();
+        tracker.observe(&SpikeRecord::new(4));
+        assert_eq!(tracker.status().observed, 0);
+        tracker.observe(&drift_record(4, &[100, 50]));
+        tracker.observe(&drift_record(4, &[100])); // topology mismatch
+        assert_eq!(tracker.status().observed, 1);
+    }
+
+    #[test]
+    fn drift_tracker_zero_rate_layers_never_nan() {
+        // An entirely silent layer (zero spikes) through calibration and
+        // monitoring must never produce a NaN/∞ KL — the epsilon floor at
+        // the histogram level guarantees it.
+        let mut tracker = DriftTracker::new(small_drift_config()).unwrap();
+        for _ in 0..64 {
+            tracker.observe(&drift_record(4, &[0, 0]));
+        }
+        let status = tracker.status();
+        assert!(status.max_kl.is_finite());
+        assert!(!status.max_kl.is_nan());
+        assert!(!status.drifted);
+    }
+
+    proptest! {
+        /// KL divergence between any two histograms built from arbitrary
+        /// value streams — including empty streams and all-zero (silent
+        /// layer) streams — is always finite, never NaN, and non-negative:
+        /// the epsilon floor's contract for the drift path.
+        #[test]
+        fn kl_divergence_always_finite_nonnegative(
+            p_values in proptest::collection::vec(0u64..u64::MAX, 0..64),
+            q_values in proptest::collection::vec(0u64..u64::MAX, 0..64),
+        ) {
+            let mut p = LogHistogram::new();
+            let mut q = LogHistogram::new();
+            for &v in &p_values {
+                p.record(v);
+            }
+            for &v in &q_values {
+                q.record(v);
+            }
+            for (a, b) in [(&p, &q), (&q, &p), (&p, &p), (&q, &q)] {
+                let kl = a.kl_divergence(b);
+                prop_assert!(kl.is_finite(), "KL not finite: {kl}");
+                prop_assert!(!kl.is_nan(), "KL is NaN");
+                prop_assert!(kl >= 0.0, "KL negative: {kl}");
+            }
+        }
+
+        /// Recording then forgetting a batch of values restores the exact
+        /// bucket state, making the ring-buffered sliding window exact.
+        #[test]
+        fn forget_is_exact_inverse_of_record(
+            base in proptest::collection::vec(0u64..u64::MAX, 0..32),
+            transient in proptest::collection::vec(0u64..u64::MAX, 1..32),
+        ) {
+            let mut h = LogHistogram::new();
+            for &v in &base {
+                h.record(v);
+            }
+            let counts_before = h.counts.clone();
+            let count_before = h.count();
+            for &v in &transient {
+                h.record(v);
+            }
+            for &v in &transient {
+                h.forget(v);
+            }
+            prop_assert_eq!(h.counts, counts_before);
+            prop_assert_eq!(h.count(), count_before);
+        }
     }
 
     #[test]

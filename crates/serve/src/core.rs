@@ -62,6 +62,12 @@ pub struct InferenceRequest {
     /// control pre-rejects requests whose deadline the current queue wait
     /// already makes unmeetable.
     pub deadline: Option<Duration>,
+    /// Name of the registry model this request targets. `None` routes to a
+    /// single-model core (or the registry's default model). A [`ServeCore`]
+    /// itself ignores the field — routing happens one layer up, in the
+    /// [`ModelZoo`](crate::ModelZoo) — so a request that reaches a core is
+    /// always already routed.
+    pub model: Option<String>,
 }
 
 impl InferenceRequest {
@@ -71,6 +77,7 @@ impl InferenceRequest {
             image,
             seed: 0,
             deadline: None,
+            model: None,
         }
     }
 
@@ -80,6 +87,7 @@ impl InferenceRequest {
             image,
             seed,
             deadline: None,
+            model: None,
         }
     }
 
@@ -97,6 +105,14 @@ impl InferenceRequest {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Targets a named registry model (builder style). See
+    /// [`InferenceRequest::model`].
+    #[must_use]
+    pub fn with_model(mut self, model: impl Into<String>) -> Self {
+        self.model = Some(model.into());
         self
     }
 }
@@ -140,6 +156,30 @@ impl InferenceResult {
             timesteps: 0,
             hardware: None,
         }
+    }
+}
+
+/// Server-side completion hook: called by the batch workers with every
+/// successful [`InferenceResult`] *before* the waiter is released. The
+/// registry hangs its per-model drift tracker here so spike-rate
+/// distributions are folded on the serving path regardless of whether the
+/// client ever looks at the response.
+///
+/// The hook runs on worker threads outside any core lock; it must be cheap
+/// (it is on the completion hot path) and must not call back into the core.
+pub type ResultObserver = Arc<dyn Fn(&InferenceResult) + Send + Sync>;
+
+/// Debug-transparent holder for the optional observer (`dyn Fn` has no
+/// `Debug`).
+struct ObserverCell(Option<ResultObserver>);
+
+impl std::fmt::Debug for ObserverCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ObserverCell(Some(..))"
+        } else {
+            "ObserverCell(None)"
+        })
     }
 }
 
@@ -519,6 +559,11 @@ struct CoreShared {
     stats: Mutex<StatsState>,
     supervision: Mutex<SupervisionState>,
     supervisor_wake: Condvar,
+    observer: ObserverCell,
+    /// Set once by the supervisor when it declares the model wedged (see
+    /// [`WEDGE_LIMIT`]); never cleared. The registry folds this into the
+    /// per-model health state.
+    wedged: std::sync::atomic::AtomicBool,
 }
 
 /// Admission control only trusts the service-time estimate once this many
@@ -571,6 +616,21 @@ impl<M: ServeModel> ServeCore<M> {
     /// Returns a config error for a zero `max_batch`/`queue_capacity`, an
     /// out-of-range `high_water` or a backoff cap below the base backoff.
     pub fn start(model: M, config: ServeConfig) -> Result<Self, ServeError> {
+        Self::start_with_observer(model, config, None)
+    }
+
+    /// Like [`ServeCore::start`], additionally installing a
+    /// [`ResultObserver`] that the workers call with every successful
+    /// result. The registry uses this to feed its per-model drift tracker.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeCore::start`].
+    pub fn start_with_observer(
+        model: M,
+        config: ServeConfig,
+        observer: Option<ResultObserver>,
+    ) -> Result<Self, ServeError> {
         let (high_water, workers) = config.validated()?;
         let shared = Arc::new(CoreShared {
             queue: BoundedQueue::new(config.queue_capacity),
@@ -584,6 +644,8 @@ impl<M: ServeModel> ServeCore<M> {
             stats: Mutex::new(StatsState::new()),
             supervision: Mutex::new(SupervisionState::default()),
             supervisor_wake: Condvar::new(),
+            observer: ObserverCell(observer),
+            wedged: std::sync::atomic::AtomicBool::new(false),
         });
         let model = Arc::new(model);
         let supervisor = {
@@ -724,6 +786,17 @@ impl<M: ServeModel> ServeCore<M> {
         &self.model
     }
 
+    /// Whether the supervisor has declared the model wedged: workers died
+    /// `WEDGE_LIMIT` (8) consecutive times without a single batch of
+    /// progress, the queue was closed and the backlog failed with typed
+    /// errors. Monotonic — a wedged core never recovers (replace the model
+    /// via the registry instead).
+    pub fn is_wedged(&self) -> bool {
+        self.shared
+            .wedged
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Stops accepting requests, drains everything already queued (in-flight
     /// requests complete; their waiters are answered), and joins the
     /// supervisor and its workers.
@@ -796,7 +869,7 @@ impl Drop for DeathGuard<'_> {
 }
 
 /// Extracts a human-readable message from a `catch_unwind` payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -826,6 +899,9 @@ fn worker_loop<M: ServeModel>(shared: &CoreShared, model: &M, slot: usize) {
     let mut jobs: Vec<Job> = Vec::with_capacity(shared.max_batch);
     let mut requests: Vec<InferenceRequest> = Vec::with_capacity(shared.max_batch);
     let mut tickets: Vec<Ticket> = Vec::with_capacity(shared.max_batch);
+    // (end-to-end latency, queue wait) per answered ticket, buffered so the
+    // stats lock is taken once per batch, after the waiters are released.
+    let mut timings: Vec<(u64, u64)> = Vec::with_capacity(shared.max_batch);
     while shared
         .queue
         .pop_batch(&mut jobs, shared.max_batch, shared.max_delay)
@@ -887,19 +963,48 @@ fn worker_loop<M: ServeModel>(shared: &CoreShared, model: &M, slot: usize) {
                 "model runner returned fewer results than requests",
             )));
         }
-        let mut stats = shared.stats.lock().expect("stats poisoned");
-        stats.batches += 1;
-        stats.coalesced += batch_size as u64;
-        stats.peak_batch = stats.peak_batch.max(batch_size);
-        // Per-request service share feeding the admission-control estimator.
-        stats.service.record((batch_us / batch_size as u64).max(1));
-        for (ticket, result) in tickets.drain(..).zip(results) {
+        timings.clear();
+        let mut completed = 0u64;
+        let mut model_errors = 0u64;
+        let outcomes: Vec<_> = tickets.drain(..).zip(results).collect();
+        for (ticket, result) in &outcomes {
+            timings.push((
+                elapsed_us(ticket.enqueued),
+                duration_us(started.saturating_duration_since(ticket.enqueued)),
+            ));
+            match result {
+                Ok(_) => completed += 1,
+                Err(_) => model_errors += 1,
+            }
+        }
+        // Record statistics *before* releasing any waiter — a caller that
+        // observed its response must find it counted — but take the lock
+        // only this once per batch.
+        {
+            let mut stats = shared.stats.lock().expect("stats poisoned");
+            stats.batches += 1;
+            stats.coalesced += batch_size as u64;
+            stats.peak_batch = stats.peak_batch.max(batch_size);
+            // Per-request service share feeding the admission-control
+            // estimator.
+            stats.service.record((batch_us / batch_size as u64).max(1));
+            stats.completed += completed;
+            stats.model_errors += model_errors;
+            for &(latency_us, queued_us) in &timings {
+                stats.latency.record(latency_us);
+                stats.queue_wait.record(queued_us);
+            }
+        }
+        // Answer the waiters (and run the observer) outside the stats lock:
+        // the observer is arbitrary registry code (the drift tracker) and
+        // must never run under a core lock.
+        for (ticket, result) in outcomes {
             let queued_us = duration_us(started.saturating_duration_since(ticket.enqueued));
-            stats.latency.record(elapsed_us(ticket.enqueued));
-            stats.queue_wait.record(queued_us);
             match result {
                 Ok(result) => {
-                    stats.completed += 1;
+                    if let Some(observer) = &shared.observer.0 {
+                        observer(&result);
+                    }
                     ticket.complete(Ok(ServedResponse {
                         result,
                         queued_us,
@@ -908,7 +1013,6 @@ fn worker_loop<M: ServeModel>(shared: &CoreShared, model: &M, slot: usize) {
                     }));
                 }
                 Err(e) => {
-                    stats.model_errors += 1;
                     ticket.complete(Err(ServeError::Model(e)));
                 }
             }
@@ -924,7 +1028,7 @@ fn worker_loop<M: ServeModel>(shared: &CoreShared, model: &M, slot: usize) {
 /// a worker that died while the queue was still live is abnormal and is
 /// respawned (counted in [`ServeStats::worker_restarts`]); workers exiting
 /// after shutdown are normal and simply joined. If workers die
-/// [`WEDGE_LIMIT`] consecutive times without a single batch of progress —
+/// `WEDGE_LIMIT` (8) consecutive times without a single batch of progress —
 /// the model cannot even construct a runner — the supervisor declares the
 /// model wedged: it closes the queue and fails the backlog with typed
 /// [`ServeError::ModelPanicked`] responses instead of respawning forever
@@ -981,6 +1085,9 @@ fn supervisor_loop<M: ServeModel>(shared: &Arc<CoreShared>, model: &Arc<M>, work
                     // Wedged: no worker has ever made progress. Stop the
                     // respawn loop and fail the backlog instead of hanging
                     // its waiters forever.
+                    shared
+                        .wedged
+                        .store(true, std::sync::atomic::Ordering::Relaxed);
                     shared.queue.close();
                     fail_backlog(shared);
                     continue;

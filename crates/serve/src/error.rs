@@ -72,6 +72,33 @@ pub enum ServeError {
     TooLarge(String),
     /// A transport-level I/O failure (socket read/write).
     Io(String),
+    /// The request named a model the registry does not serve. Maps to
+    /// HTTP 404; retrying the same name would fail identically.
+    UnknownModel {
+        /// The model id the request carried.
+        model: String,
+    },
+    /// A hot-reload candidate failed golden-probe validation (non-finite
+    /// logits, wrong output shape, or a golden-output mismatch) and was
+    /// **not** swapped in — the incumbent version keeps serving. Maps to
+    /// HTTP 422 on the admin surface.
+    ValidationFailed {
+        /// Version id of the rejected candidate.
+        version: String,
+        /// Human-readable reason the probe failed.
+        reason: String,
+    },
+    /// The model's drift tracker flagged its spike-rate distribution as
+    /// diverged from the calibration baseline and the registry's policy is
+    /// to shed rather than annotate. The work was never attempted, so the
+    /// request is retryable (ideally against a healthy replica or after a
+    /// rollback). Maps to HTTP 503 + `Retry-After`.
+    Degraded {
+        /// The KL divergence (nats) that tripped the threshold.
+        kl: f64,
+        /// The layer whose spike-rate distribution diverged the most.
+        layer: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -102,6 +129,18 @@ impl fmt::Display for ServeError {
             ServeError::Timeout(msg) => write!(f, "timeout: {msg}"),
             ServeError::TooLarge(msg) => write!(f, "request too large: {msg}"),
             ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ServeError::UnknownModel { model } => {
+                write!(f, "unknown model: no model named {model:?} is registered")
+            }
+            ServeError::ValidationFailed { version, reason } => write!(
+                f,
+                "validation failed: candidate version {version:?} rejected before swap: {reason}"
+            ),
+            ServeError::Degraded { kl, layer } => write!(
+                f,
+                "model degraded: spike-rate distribution of layer {layer:?} drifted \
+                 {kl:.3} nats from the calibration baseline"
+            ),
         }
     }
 }
@@ -142,7 +181,10 @@ impl ServeError {
     /// rejections ([`ServeError::Model`], [`ServeError::Protocol`],
     /// [`ServeError::TooLarge`]) would fail identically on retry, and
     /// [`ServeError::ShuttingDown`] means this server will not come back
-    /// for the retry.
+    /// for the retry. [`ServeError::Degraded`] is a shed — the drift policy
+    /// refused the work before attempting it — so it is retryable;
+    /// [`ServeError::UnknownModel`] and [`ServeError::ValidationFailed`]
+    /// are deterministic rejections.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -152,6 +194,7 @@ impl ServeError {
                 | ServeError::ModelPanicked { .. }
                 | ServeError::Timeout(_)
                 | ServeError::Io(_)
+                | ServeError::Degraded { .. }
         )
     }
 
@@ -167,6 +210,9 @@ impl ServeError {
     pub fn retry_after(&self) -> Option<Duration> {
         match self {
             ServeError::Overloaded { .. } => Some(Duration::from_millis(100)),
+            // Drift clears on the tracker-window timescale (a rollback or
+            // traffic change), not per-request: hint a longer pause.
+            ServeError::Degraded { .. } => Some(Duration::from_secs(1)),
             ServeError::DeadlineUnmeetable {
                 estimated_us,
                 deadline_us,
@@ -213,6 +259,20 @@ mod tests {
         assert!(ServeError::TooLarge("body".into())
             .to_string()
             .contains("large"));
+        let um = ServeError::UnknownModel {
+            model: "resnet".into(),
+        };
+        assert!(um.to_string().contains("resnet"));
+        let vf = ServeError::ValidationFailed {
+            version: "v2".into(),
+            reason: "non-finite logit".into(),
+        };
+        assert!(vf.to_string().contains("v2") && vf.to_string().contains("non-finite"));
+        let dg = ServeError::Degraded {
+            kl: 1.25,
+            layer: "conv3".into(),
+        };
+        assert!(dg.to_string().contains("conv3") && dg.to_string().contains("1.250"));
     }
 
     #[test]
@@ -230,11 +290,25 @@ mod tests {
         .is_retryable());
         assert!(ServeError::Timeout(String::new()).is_retryable());
         assert!(ServeError::Io(String::new()).is_retryable());
+        assert!(ServeError::Degraded {
+            kl: 1.0,
+            layer: String::new()
+        }
+        .is_retryable());
         // Deterministic rejections are not retryable.
         assert!(!ServeError::ShuttingDown.is_retryable());
         assert!(!ServeError::Model(SnnError::config("x", "y")).is_retryable());
         assert!(!ServeError::Protocol(String::new()).is_retryable());
         assert!(!ServeError::TooLarge(String::new()).is_retryable());
+        assert!(!ServeError::UnknownModel {
+            model: String::new()
+        }
+        .is_retryable());
+        assert!(!ServeError::ValidationFailed {
+            version: String::new(),
+            reason: String::new()
+        }
+        .is_retryable());
     }
 
     #[test]
@@ -257,6 +331,12 @@ mod tests {
         assert!(ServeError::Overloaded { depth: 5, limit: 4 }
             .retry_after()
             .is_some());
+        assert!(ServeError::Degraded {
+            kl: 1.0,
+            layer: "l".into()
+        }
+        .retry_after()
+        .is_some());
         assert!(ServeError::ShuttingDown.retry_after().is_none());
     }
 

@@ -1,20 +1,52 @@
-//! A thin blocking HTTP/1.1 shim over [`ServeCore`], built directly on
-//! `std::net::TcpListener` — no async runtime, per the repo's vendored-deps
-//! policy. One acceptor thread, one thread per connection (keep-alive
-//! supported); all batching, backpressure and statistics live in the
-//! transport-agnostic core.
+//! A thin blocking HTTP/1.1 shim over [`ServeCore`] or a multi-model
+//! [`ModelZoo`], built directly on `std::net::TcpListener` — no async
+//! runtime, per the repo's vendored-deps policy. One acceptor thread, one
+//! thread per connection (keep-alive supported); all batching,
+//! backpressure and statistics live in the transport-agnostic core.
 //!
 //! # Routes
 //!
 //! | Route             | Body                                        | Status |
 //! |-------------------|---------------------------------------------|--------|
-//! | `GET /v1/healthz` | `ok`                                        | 200    |
-//! | `GET /v1/stats`   | [`ServeStats`](crate::ServeStats) as JSON   | 200    |
+//! | `GET /healthz` (alias `/v1/healthz`) | `ok`, or per-model health JSON (zoo) | 200, or 503 when any model is degraded/wedged |
+//! | `GET /v1/stats`   | [`ZooStats`] as JSON | 200 |
 //! | `POST /v1/infer`  | JSON request or binary frame (by `Content-Type`) | 200 |
 //!
 //! `POST /v1/infer` dispatches on `Content-Type`: `application/json` bodies
 //! go through the JSON codec, `application/octet-stream` bodies through the
-//! binary frame codec; the response mirrors the request format.
+//! binary frame codec; the response mirrors the request format. A request
+//! carrying a model id is routed to that model ([`HttpServer::bind_zoo`]
+//! servers) or rejected with 404 (single-model servers, which serve only
+//! unnamed requests). Responses served by a drift-Degraded model under
+//! [`DriftPolicy::Annotate`](crate::registry::DriftPolicy) carry the
+//! degraded marker (JSON `"degraded": true`, binary status
+//! [`STATUS_OK_DEGRADED`](crate::protocol::STATUS_OK_DEGRADED)).
+//!
+//! `GET /v1/stats` always returns the registry shape, one section per
+//! model keyed by name (single-model servers report one `"default"`
+//! entry):
+//!
+//! ```json
+//! {
+//!   "default_model": "cifar",
+//!   "models": {
+//!     "cifar": {
+//!       "version": "v2", "health": "healthy",
+//!       "drift_kl": 0.04, "drift_layer": "conv1",
+//!       "drift_calibrated": true, "drift_observed": 512,
+//!       "swaps": 1, "validation_failures": 0, "rollbacks": 0,
+//!       "serve": { "submitted": 512, "completed": 512, "...": "..." }
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! `GET /healthz` on a zoo server returns per-model health:
+//!
+//! ```json
+//! {"status": "degraded",
+//!  "models": {"cifar": {"health": "degraded", "kl": 1.31, "layer": "conv1"}}}
+//! ```
 //!
 //! # Status mapping
 //!
@@ -22,11 +54,14 @@
 //! |------------------------|-------------|
 //! | `Overloaded`           | 503 (with `Retry-After`) — back off and retry |
 //! | `ShuttingDown`         | 503         |
+//! | `Degraded`             | 503 (with `Retry-After`) — drift-shed; rolled back soon |
 //! | `DeadlineExceeded`     | 504         |
 //! | `DeadlineUnmeetable`   | 504 (with computed `Retry-After`) |
 //! | `ModelPanicked`        | 500         |
 //! | `Protocol`             | 400         |
 //! | `Model`                | 422         |
+//! | `UnknownModel`         | 404         |
+//! | `ValidationFailed`     | 422         |
 //! | `Timeout`              | 408 (stalled peer; connection is closed) |
 //! | `TooLarge`             | 413         |
 //! | `Io`                   | 500         |
@@ -42,9 +77,10 @@
 //! *before* any allocation. Writes carry [`HttpOptions::write_timeout`] so
 //! a peer that stops reading cannot pin a thread either.
 
-use crate::core::{ServeCore, ServeModel};
+use crate::core::{ServeCore, ServeModel, ServedResponse};
 use crate::error::ServeError;
 use crate::protocol;
+use crate::registry::{ModelHealth, ModelStats, ModelZoo, ZooStats};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -111,8 +147,134 @@ impl std::fmt::Debug for HttpOptions {
     }
 }
 
+/// What the server fronts: one core, or a whole registry.
+enum Backend<M: ServeModel> {
+    Single(ServeCore<M>),
+    Zoo(ModelZoo<M>),
+}
+
+impl<M: ServeModel> Backend<M> {
+    /// Routes and serves one request, reporting whether the serving model
+    /// was drift-Degraded (always `false` for a single core, which has no
+    /// drift tracker). A single-model server refuses named requests: it
+    /// serves exactly one anonymous model.
+    fn infer_annotated(
+        &self,
+        request: crate::core::InferenceRequest,
+    ) -> Result<(ServedResponse, bool), ServeError> {
+        match self {
+            Backend::Single(core) => {
+                if let Some(model) = &request.model {
+                    return Err(ServeError::UnknownModel {
+                        model: model.clone(),
+                    });
+                }
+                Ok((core.infer(request)?, false))
+            }
+            Backend::Zoo(zoo) => zoo.infer_annotated(request),
+        }
+    }
+
+    /// The `/v1/stats` payload: always the registry shape, so clients see
+    /// one JSON schema regardless of backend. A single core reports one
+    /// `"default"` section with the drift fields idle.
+    fn stats(&self) -> ZooStats {
+        match self {
+            Backend::Single(core) => {
+                let health = if core.is_wedged() {
+                    ModelHealth::Wedged
+                } else {
+                    ModelHealth::Healthy
+                };
+                let mut models = std::collections::BTreeMap::new();
+                models.insert(
+                    "default".to_string(),
+                    ModelStats {
+                        version: "unversioned".to_string(),
+                        health: health.as_str().to_string(),
+                        drift_kl: 0.0,
+                        drift_layer: None,
+                        drift_calibrated: false,
+                        drift_observed: 0,
+                        swaps: 0,
+                        validation_failures: 0,
+                        rollbacks: 0,
+                        serve: core.stats(),
+                    },
+                );
+                ZooStats {
+                    default_model: Some("default".to_string()),
+                    models,
+                }
+            }
+            Backend::Zoo(zoo) => zoo.stats(),
+        }
+    }
+
+    /// The `/healthz` payload and status: 200 only when every model is
+    /// healthy. Single healthy cores keep the classic `ok` text body so
+    /// trivial probes keep working; everything else is JSON.
+    fn health_response(&self) -> (u16, &'static str, Vec<u8>) {
+        let health = match self {
+            Backend::Single(core) => {
+                if !core.is_wedged() {
+                    return (200, "text/plain", b"ok".to_vec());
+                }
+                let mut models = std::collections::BTreeMap::new();
+                models.insert("default".to_string(), ModelHealth::Wedged);
+                models
+            }
+            Backend::Zoo(zoo) => zoo.health_all(),
+        };
+        let all_healthy = health.values().all(|h| *h == ModelHealth::Healthy);
+        let status_word = if all_healthy {
+            "ok"
+        } else if health.values().any(|h| *h == ModelHealth::Wedged) {
+            "wedged"
+        } else {
+            "degraded"
+        };
+        let models = health
+            .into_iter()
+            .map(|(name, h)| {
+                let mut fields = vec![(
+                    "health".to_string(),
+                    serde::Value::Str(h.as_str().to_string()),
+                )];
+                if let ModelHealth::Degraded { kl, layer } = h {
+                    fields.push(("kl".to_string(), serde::Value::F64(kl)));
+                    fields.push(("layer".to_string(), serde::Value::Str(layer)));
+                }
+                (name, serde::Value::Obj(fields))
+            })
+            .collect();
+        let value = serde::Value::Obj(vec![
+            (
+                "status".to_string(),
+                serde::Value::Str(status_word.to_string()),
+            ),
+            ("models".to_string(), serde::Value::Obj(models)),
+        ]);
+        let body = serde_json::to_string(&value)
+            .unwrap_or_else(|_| "{\"status\":\"unknown\"}".to_string())
+            .into_bytes();
+        (
+            if all_healthy { 200 } else { 503 },
+            "application/json",
+            body,
+        )
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Backend::Single(core) => core.shutdown(),
+            Backend::Zoo(zoo) => zoo.shutdown(),
+        }
+    }
+}
+
 struct HttpShared<M: ServeModel> {
-    core: ServeCore<M>,
+    backend: Backend<M>,
     stop: AtomicBool,
     options: HttpOptions,
     /// Ordinal fed to the chaos hook, one per inference request served.
@@ -151,10 +313,45 @@ impl<M: ServeModel> HttpServer<M> {
         addr: impl ToSocketAddrs,
         options: HttpOptions,
     ) -> Result<Self, ServeError> {
+        Self::bind_backend(Backend::Single(core), addr, options)
+    }
+
+    /// Binds a multi-model [`ModelZoo`]: requests are routed by their
+    /// model id (absent → the zoo's default model), `/v1/stats` reports
+    /// one section per model, and `/healthz` reports per-model health.
+    /// Keep a [`ModelZoo`] clone to drive swaps and rollbacks while the
+    /// server runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the address cannot be bound.
+    pub fn bind_zoo(zoo: ModelZoo<M>, addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        Self::bind_zoo_with_options(zoo, addr, HttpOptions::default())
+    }
+
+    /// Like [`HttpServer::bind_zoo`] with explicit transport limits,
+    /// timeouts and chaos hooks.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the address cannot be bound.
+    pub fn bind_zoo_with_options(
+        zoo: ModelZoo<M>,
+        addr: impl ToSocketAddrs,
+        options: HttpOptions,
+    ) -> Result<Self, ServeError> {
+        Self::bind_backend(Backend::Zoo(zoo), addr, options)
+    }
+
+    fn bind_backend(
+        backend: Backend<M>,
+        addr: impl ToSocketAddrs,
+        options: HttpOptions,
+    ) -> Result<Self, ServeError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(HttpShared {
-            core,
+            backend,
             stop: AtomicBool::new(false),
             options,
             chaos_requests: AtomicU64::new(0),
@@ -181,9 +378,10 @@ impl<M: ServeModel> HttpServer<M> {
         self.local_addr
     }
 
-    /// Snapshot of the underlying core's statistics.
-    pub fn stats(&self) -> crate::core::ServeStats {
-        self.shared.core.stats()
+    /// Snapshot of the serving statistics, in the per-model registry
+    /// shape (single-core servers report one `"default"` section).
+    pub fn stats(&self) -> ZooStats {
+        self.shared.backend.stats()
     }
 
     /// Stops accepting, joins the acceptor and all connection threads, and
@@ -205,6 +403,7 @@ impl<M: ServeModel> HttpServer<M> {
         for handle in handles {
             let _ = handle.join();
         }
+        self.shared.backend.shutdown();
     }
 }
 
@@ -444,10 +643,13 @@ fn write_response(
 /// Maps a [`ServeError`] onto its HTTP status (see the module docs).
 fn error_status(e: &ServeError) -> u16 {
     match e {
-        ServeError::Overloaded { .. } | ServeError::ShuttingDown => 503,
+        ServeError::Overloaded { .. } | ServeError::ShuttingDown | ServeError::Degraded { .. } => {
+            503
+        }
         ServeError::DeadlineExceeded { .. } | ServeError::DeadlineUnmeetable { .. } => 504,
         ServeError::Protocol(_) => 400,
-        ServeError::Model(_) => 422,
+        ServeError::Model(_) | ServeError::ValidationFailed { .. } => 422,
+        ServeError::UnknownModel { .. } => 404,
         ServeError::Timeout(_) => 408,
         ServeError::TooLarge(_) => 413,
         ServeError::ModelPanicked { .. } | ServeError::Io(_) => 500,
@@ -489,11 +691,12 @@ fn serve_connection<M: ServeModel>(
         };
         let keep_alive = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
         match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/v1/healthz") => {
-                write_response(&mut stream, 200, "text/plain", b"ok", keep_alive, None)?;
+            ("GET", "/healthz" | "/v1/healthz") => {
+                let (status, content_type, body) = shared.backend.health_response();
+                write_response(&mut stream, status, content_type, &body, keep_alive, None)?;
             }
             ("GET", "/v1/stats") => {
-                let body = serde_json::to_string(&shared.core.stats())
+                let body = serde_json::to_string(&shared.backend.stats())
                     .unwrap_or_else(|_| "{}".to_string())
                     .into_bytes();
                 write_response(
@@ -520,11 +723,12 @@ fn serve_connection<M: ServeModel>(
                 } else {
                     protocol::decode_json_request(&request.body)
                 }
-                .and_then(|req| shared.core.infer(req));
+                .and_then(|req| shared.backend.infer_annotated(req));
                 match outcome {
-                    Ok(response) => {
+                    Ok((response, degraded)) => {
                         if binary {
-                            let body = protocol::encode_frame_response(&response);
+                            let body =
+                                protocol::encode_frame_response_with_health(&response, degraded);
                             write_response(
                                 &mut stream,
                                 200,
@@ -534,7 +738,8 @@ fn serve_connection<M: ServeModel>(
                                 None,
                             )?;
                         } else {
-                            let body = protocol::encode_json_response(&response)?;
+                            let body =
+                                protocol::encode_json_response_with_health(&response, degraded)?;
                             write_response(
                                 &mut stream,
                                 200,

@@ -42,10 +42,16 @@
 //!
 //! - [`ServeCore`] — queue + batcher + supervised workers + statistics
 //!   (this is the API most embedders want).
-//! - [`protocol`] — the JSON and length-prefixed binary wire codecs.
+//! - [`ModelZoo`] — a multi-model registry on top of cores: named-model
+//!   routing, golden-probe-validated atomic hot-reload with rollback, and
+//!   per-model spike-rate drift detection feeding a
+//!   `Healthy → Degraded → Wedged` health state machine.
+//! - [`protocol`] — the JSON and length-prefixed binary wire codecs
+//!   (requests carry an optional model id and deadline).
 //! - [`HttpServer`] — a thin blocking HTTP/1.1 shim on `std::net` exposing
-//!   `POST /v1/infer`, `GET /v1/stats` and `GET /v1/healthz`, hardened via
-//!   [`HttpOptions`] (read/write timeouts, head/body caps).
+//!   `POST /v1/infer`, `GET /v1/stats` and `GET /healthz`, hardened via
+//!   [`HttpOptions`] (read/write timeouts, head/body caps); fronts a
+//!   single core or a whole [`ModelZoo`].
 //! - [`fault`] / [`retry`] — deterministic fault injection and client
 //!   retry/backoff.
 //!
@@ -102,13 +108,17 @@ pub mod fault;
 pub mod http;
 pub mod protocol;
 mod queue;
+pub mod registry;
 pub mod retry;
 
 pub use crate::core::{
-    InferenceRequest, InferenceResult, ModelRunner, ResponseHandle, ServeConfig, ServeCore,
-    ServeModel, ServeStats, ServedResponse,
+    InferenceRequest, InferenceResult, ModelRunner, ResponseHandle, ResultObserver, ServeConfig,
+    ServeCore, ServeModel, ServeStats, ServedResponse,
 };
 pub use crate::error::ServeError;
 pub use crate::fault::{Fault, FaultPlan, FaultyModel};
 pub use crate::http::{HttpOptions, HttpServer};
+pub use crate::registry::{
+    DriftPolicy, ModelHealth, ModelStats, ModelZoo, ProbeSpec, SwappableModel, ZooConfig, ZooStats,
+};
 pub use crate::retry::RetryPolicy;

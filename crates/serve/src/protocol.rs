@@ -6,13 +6,16 @@
 //! # JSON request
 //!
 //! ```json
-//! {"shape": [3, 16, 16], "data": [0.0, 0.25, ...], "seed": 7, "deadline_us": 50000}
+//! {"shape": [3, 16, 16], "data": [0.0, 0.25, ...], "seed": 7,
+//!  "deadline_us": 50000, "model": "cifar-fp32"}
 //! ```
 //!
 //! `seed` is optional (default 0). `deadline_us` is optional: when present
 //! and non-zero it is the request's deadline budget in microseconds,
 //! measured from server admission — a result the server cannot deliver
-//! within the budget is shed instead of computed. `data` must hold exactly
+//! within the budget is shed instead of computed. `model` is optional: when
+//! present it names the registry model to route to (unknown names are a
+//! typed 404; absent routes to the default model). `data` must hold exactly
 //! `shape.iter().product()` floats. Decoding goes through the vendored
 //! `serde_json::from_slice`, so malformed bodies report the failing byte
 //! offset.
@@ -20,13 +23,16 @@
 //! # Binary request frame (little-endian)
 //!
 //! ```text
-//! magic "SNQ2" | payload_len: u32 | seed: u64 | deadline_us: u64 |
+//! magic "SNQ3" | payload_len: u32 | seed: u64 | deadline_us: u64 |
+//!   model_len: u8 | model: utf8 × model_len |
 //!   ndim: u8 | dims: u32 × ndim | data: f32 × Π dims
 //! ```
 //!
-//! `deadline_us = 0` means "no deadline". The magic was bumped from `SNQ1`
-//! when the field was added; old frames are rejected with a typed protocol
-//! error naming the expected magic.
+//! `deadline_us = 0` means "no deadline"; `model_len = 0` means "default
+//! model". The magic was bumped from `SNQ1` when the deadline field was
+//! added and from `SNQ2` when the model id was added; old frames are
+//! rejected with a typed protocol error naming the expected magic. A model
+//! id must be valid UTF-8 or the frame is rejected.
 //!
 //! `payload_len` counts every byte after itself and must equal what is
 //! actually present — the decoder validates all declared sizes against the
@@ -43,6 +49,11 @@
 //!   has_hw: u8 | [latency_ms: f64 | total_energy_mj: f64 | throughput_fps: f64] |
 //!   queued_us: u64 | batch_us: u64 | batch_size: u32
 //! ```
+//!
+//! `status` 0 is a healthy success; [`STATUS_OK_DEGRADED`] (2) marks a
+//! success served by a model whose drift tracker currently flags it
+//! Degraded under the *annotate* policy (the shed policy refuses the work
+//! with a typed error instead).
 
 use crate::core::{InferenceRequest, ServedResponse};
 use crate::error::ServeError;
@@ -50,11 +61,15 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use snn_core::tensor::Tensor;
 use std::time::Duration;
 
-/// Magic prefix of a binary request frame (`SNQ2` since the deadline field
-/// was added; `SNQ1` frames are rejected).
-pub const REQUEST_MAGIC: [u8; 4] = *b"SNQ2";
+/// Magic prefix of a binary request frame (`SNQ3` since the model id was
+/// added; `SNQ1`/`SNQ2` frames are rejected).
+pub const REQUEST_MAGIC: [u8; 4] = *b"SNQ3";
 /// Magic prefix of a binary response frame.
 pub const RESPONSE_MAGIC: [u8; 4] = *b"SNP1";
+/// Binary response status: success, annotated as served by a
+/// drift-Degraded model (the registry's *annotate* policy; JSON carries the
+/// same bit as the `degraded` field).
+pub const STATUS_OK_DEGRADED: u8 = 2;
 /// Largest number of dimensions a request shape may declare.
 pub const MAX_DIMS: usize = 8;
 /// Largest number of elements (`Π dims`) a request may carry: 2²⁴ floats
@@ -76,6 +91,9 @@ pub struct JsonRequest {
     /// Deadline budget in microseconds (optional on the wire; absent or 0
     /// means "no deadline").
     pub deadline_us: u64,
+    /// Registry model to route to (optional on the wire; absent means the
+    /// default model).
+    pub model: Option<String>,
 }
 
 impl Deserialize for JsonRequest {
@@ -95,11 +113,19 @@ impl Deserialize for JsonRequest {
                 .map_err(|e| DeError::new(format!("field `deadline_us` of request: {e}")))?,
             None => 0,
         };
+        let model: Option<String> = match value.get("model") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(
+                String::from_value(v)
+                    .map_err(|e| DeError::new(format!("field `model` of request: {e}")))?,
+            ),
+        };
         Ok(JsonRequest {
             shape,
             data,
             seed,
             deadline_us,
+            model,
         })
     }
 }
@@ -113,6 +139,9 @@ impl Serialize for JsonRequest {
         ];
         if self.deadline_us > 0 {
             fields.push(("deadline_us".to_string(), self.deadline_us.to_value()));
+        }
+        if let Some(model) = &self.model {
+            fields.push(("model".to_string(), model.to_value()));
         }
         Value::Obj(fields)
     }
@@ -140,15 +169,22 @@ pub struct JsonResponse {
     pub batch_us: u64,
     /// Size of the coalesced batch this request ran in.
     pub batch_size: usize,
+    /// Whether the serving model's drift tracker flagged it Degraded at
+    /// response time (the registry's *annotate* policy; always `false` from
+    /// a healthy model or a single-model server). Always present on the
+    /// wire.
+    pub degraded: bool,
 }
 
 /// Validates a shape + data pair and builds the request tensor.
-/// `deadline_us = 0` means "no deadline" (the wire sentinel).
+/// `deadline_us = 0` means "no deadline" (the wire sentinel); `model =
+/// None` means "default model".
 fn request_from_parts(
     shape: &[usize],
     data: Vec<f32>,
     seed: u64,
     deadline_us: u64,
+    model: Option<String>,
 ) -> Result<InferenceRequest, ServeError> {
     if shape.is_empty() || shape.len() > MAX_DIMS {
         return Err(ServeError::protocol(format!(
@@ -182,6 +218,7 @@ fn request_from_parts(
         image,
         seed,
         deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
+        model,
     })
 }
 
@@ -194,7 +231,13 @@ fn request_from_parts(
 pub fn decode_json_request(body: &[u8]) -> Result<InferenceRequest, ServeError> {
     let wire: JsonRequest =
         serde_json::from_slice(body).map_err(|e| ServeError::protocol(e.to_string()))?;
-    request_from_parts(&wire.shape, wire.data, wire.seed, wire.deadline_us)
+    request_from_parts(
+        &wire.shape,
+        wire.data,
+        wire.seed,
+        wire.deadline_us,
+        wire.model,
+    )
 }
 
 /// The wire encoding of a request's deadline: its budget in microseconds,
@@ -218,18 +261,33 @@ pub fn encode_json_request(request: &InferenceRequest) -> Result<Vec<u8>, ServeE
         data: request.image.as_slice().to_vec(),
         seed: request.seed,
         deadline_us: deadline_us_of(request),
+        model: request.model.clone(),
     };
     serde_json::to_string(&wire)
         .map(String::into_bytes)
         .map_err(|e| ServeError::protocol(e.to_string()))
 }
 
-/// Encodes a served response as a JSON body.
+/// Encodes a served response as a JSON body (healthy: `degraded = false`).
 ///
 /// # Errors
 ///
 /// [`ServeError::Protocol`] if a logit or estimate is non-finite.
 pub fn encode_json_response(response: &ServedResponse) -> Result<Vec<u8>, ServeError> {
+    encode_json_response_with_health(response, false)
+}
+
+/// Encodes a served response as a JSON body, carrying the serving model's
+/// drift annotation in the `degraded` field (the registry's *annotate*
+/// policy).
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] if a logit or estimate is non-finite.
+pub fn encode_json_response_with_health(
+    response: &ServedResponse,
+    degraded: bool,
+) -> Result<Vec<u8>, ServeError> {
     let hw = response.result.hardware.as_ref();
     let wire = JsonResponse {
         prediction: response.result.prediction,
@@ -241,6 +299,7 @@ pub fn encode_json_response(response: &ServedResponse) -> Result<Vec<u8>, ServeE
         queued_us: response.queued_us,
         batch_us: response.batch_us,
         batch_size: response.batch_size,
+        degraded,
     };
     serde_json::to_string(&wire)
         .map(String::into_bytes)
@@ -342,15 +401,30 @@ fn frame_payload<'a>(bytes: &'a [u8], magic: &[u8; 4], what: &str) -> Result<&'a
 }
 
 /// Encodes a request as a binary frame.
+///
+/// A model id longer than 255 bytes cannot be framed (the wire length
+/// prefix is a `u8`); it is truncated at the last UTF-8 boundary within
+/// 255 bytes. Registry names are validated far below that, so real
+/// requests never hit the truncation.
 pub fn encode_frame_request(request: &InferenceRequest) -> Vec<u8> {
     let shape = request.image.shape();
     let data = request.image.as_slice();
-    let payload_len = 8 + 8 + 1 + 4 * shape.len() + 4 * data.len();
+    let model = request.model.as_deref().unwrap_or("");
+    let model_bytes = {
+        let mut end = model.len().min(u8::MAX as usize);
+        while !model.is_char_boundary(end) {
+            end -= 1;
+        }
+        &model.as_bytes()[..end]
+    };
+    let payload_len = 8 + 8 + 1 + model_bytes.len() + 1 + 4 * shape.len() + 4 * data.len();
     let mut out = Vec::with_capacity(8 + payload_len);
     out.extend_from_slice(&REQUEST_MAGIC);
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
     out.extend_from_slice(&request.seed.to_le_bytes());
     out.extend_from_slice(&deadline_us_of(request).to_le_bytes());
+    out.push(model_bytes.len() as u8);
+    out.extend_from_slice(model_bytes);
     out.push(shape.len() as u8);
     for &dim in shape {
         out.extend_from_slice(&(dim as u32).to_le_bytes());
@@ -366,15 +440,26 @@ pub fn encode_frame_request(request: &InferenceRequest) -> Vec<u8> {
 /// # Errors
 ///
 /// [`ServeError::Protocol`] on a bad magic, a length prefix that disagrees
-/// with the actual byte count, truncation anywhere, an oversized shape
-/// (> [`MAX_DIMS`] dims or > [`MAX_ELEMENTS`] elements) or a data section
-/// that does not match the declared shape. Never panics, never allocates
-/// from unvalidated lengths.
+/// with the actual byte count, truncation anywhere, a non-UTF-8 model id,
+/// an oversized shape (> [`MAX_DIMS`] dims or > [`MAX_ELEMENTS`] elements)
+/// or a data section that does not match the declared shape. Never panics,
+/// never allocates from unvalidated lengths.
 pub fn decode_frame_request(bytes: &[u8]) -> Result<InferenceRequest, ServeError> {
     let payload = frame_payload(bytes, &REQUEST_MAGIC, "request")?;
     let mut reader = FrameReader::new(payload);
     let seed = reader.u64("seed")?;
     let deadline_us = reader.u64("deadline_us")?;
+    let model_len = reader.u8("model_len")? as usize;
+    let model = if model_len == 0 {
+        None
+    } else {
+        let raw = reader.take(model_len, "model id")?;
+        Some(
+            std::str::from_utf8(raw)
+                .map_err(|e| ServeError::protocol(format!("model id is not valid UTF-8: {e}")))?
+                .to_string(),
+        )
+    };
     let ndim = reader.u8("ndim")? as usize;
     if ndim == 0 || ndim > MAX_DIMS {
         return Err(ServeError::protocol(format!(
@@ -400,13 +485,14 @@ pub fn decode_frame_request(bytes: &[u8]) -> Result<InferenceRequest, ServeError
     }
     let data = reader.f32s(elements as usize, "tensor data")?;
     reader.finish("tensor data")?;
-    request_from_parts(&shape, data, seed, deadline_us)
+    request_from_parts(&shape, data, seed, deadline_us, model)
 }
 
 /// Decoded form of a binary response frame, for clients and tests.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FrameResponse {
-    /// Status byte (0 = ok; transports usually carry errors out-of-band).
+    /// Status byte (0 = ok, [`STATUS_OK_DEGRADED`] = ok but served by a
+    /// drift-Degraded model; transports carry errors out-of-band).
     pub status: u8,
     /// Index of the predicted class.
     pub prediction: u32,
@@ -427,6 +513,14 @@ pub struct FrameResponse {
 
 /// Encodes a served response as a binary frame (status 0).
 pub fn encode_frame_response(response: &ServedResponse) -> Vec<u8> {
+    encode_frame_response_with_health(response, false)
+}
+
+/// Encodes a served response as a binary frame, with the status byte
+/// carrying the serving model's drift annotation: 0 healthy,
+/// [`STATUS_OK_DEGRADED`] when the model is flagged Degraded under the
+/// *annotate* policy.
+pub fn encode_frame_response_with_health(response: &ServedResponse, degraded: bool) -> Vec<u8> {
     let logits = &response.result.logits;
     let hw = response.result.hardware.as_ref();
     let payload_len =
@@ -434,7 +528,7 @@ pub fn encode_frame_response(response: &ServedResponse) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + payload_len);
     out.extend_from_slice(&RESPONSE_MAGIC);
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
-    out.push(0u8);
+    out.push(if degraded { STATUS_OK_DEGRADED } else { 0u8 });
     out.extend_from_slice(&(response.result.prediction as u32).to_le_bytes());
     out.extend_from_slice(&(response.result.timesteps as u32).to_le_bytes());
     out.extend_from_slice(&(logits.len() as u32).to_le_bytes());

@@ -86,6 +86,42 @@ proptest! {
         ));
     }
 
+    /// The wire model-id field under hostile values: an arbitrary byte
+    /// string spliced into the model slot must either decode (iff it is
+    /// valid UTF-8) or yield a typed protocol error — never a panic.
+    #[test]
+    fn wire_model_field_is_hostile_proof(
+        model_bytes in collection::vec(0_u8..=255, 0..16),
+        seed in any::<u64>(),
+    ) {
+        let base = encode_frame_request(&sample_request(&[2], &[0.5], seed));
+        // Rebuild the frame with the arbitrary model field spliced in after
+        // seed + deadline (the base frame carries model_len = 0 at byte 24).
+        let mut frame = base[..24].to_vec();
+        frame.push(model_bytes.len() as u8);
+        frame.extend_from_slice(&model_bytes);
+        frame.extend_from_slice(&base[25..]);
+        let payload_len = (frame.len() - 8) as u32;
+        frame[4..8].copy_from_slice(&payload_len.to_le_bytes());
+        match decode_frame_request(&frame) {
+            Ok(decoded) => {
+                let text = std::str::from_utf8(&model_bytes)
+                    .expect("a decoded model id implies valid UTF-8");
+                if model_bytes.is_empty() {
+                    prop_assert_eq!(decoded.model, None);
+                } else {
+                    prop_assert_eq!(decoded.model.as_deref(), Some(text));
+                }
+            }
+            Err(ServeError::Protocol(_)) => {
+                prop_assert!(std::str::from_utf8(&model_bytes).is_err());
+            }
+            Err(other) => {
+                panic!("hostile model field must decode or error typed, got {other:?}")
+            }
+        }
+    }
+
     #[test]
     fn json_request_roundtrips(
         dims in collection::vec(1_usize..5, 1..5),
@@ -195,6 +231,7 @@ fn oversized_declared_sizes_are_refused_before_allocation() {
     let mut payload = Vec::new();
     payload.extend_from_slice(&7_u64.to_le_bytes()); // seed
     payload.extend_from_slice(&0_u64.to_le_bytes()); // deadline_us (none)
+    payload.push(0); // model_len (no model id)
     payload.push(4); // ndim
     for _ in 0..4 {
         payload.extend_from_slice(&4096_u32.to_le_bytes()); // 4096^4 >> MAX_ELEMENTS
@@ -212,6 +249,7 @@ fn oversized_declared_sizes_are_refused_before_allocation() {
     let mut payload = Vec::new();
     payload.extend_from_slice(&0_u64.to_le_bytes()); // seed
     payload.extend_from_slice(&0_u64.to_le_bytes()); // deadline_us (none)
+    payload.push(0); // model_len (no model id)
     payload.push((MAX_DIMS + 1) as u8);
     for _ in 0..=MAX_DIMS {
         payload.extend_from_slice(&1_u32.to_le_bytes());
@@ -233,6 +271,54 @@ fn oversized_declared_sizes_are_refused_before_allocation() {
         other => panic!("oversized JSON shape must be refused, got {other:?}"),
     }
     let _ = MAX_ELEMENTS;
+}
+
+/// The optional model id must round-trip on both codecs, tolerate JSON
+/// absence/null, refuse non-string JSON values and lying binary length
+/// prefixes, and respect the u8 length bound at a UTF-8 char boundary.
+#[test]
+fn model_id_roundtrips_and_is_bounded() {
+    let request = sample_request(&[2], &[1.0], 3).with_model("cifar-fp32");
+    let decoded = decode_frame_request(&encode_frame_request(&request)).unwrap();
+    assert_eq!(decoded.model.as_deref(), Some("cifar-fp32"));
+    let body = encode_json_request(&request).unwrap();
+    let decoded = decode_json_request(&body).unwrap();
+    assert_eq!(decoded.model.as_deref(), Some("cifar-fp32"));
+
+    // JSON: absent and null both mean "route to the default model".
+    let decoded = decode_json_request(b"{\"shape\": [1], \"data\": [1.0]}").unwrap();
+    assert_eq!(decoded.model, None);
+    let decoded =
+        decode_json_request(b"{\"shape\": [1], \"data\": [1.0], \"model\": null}").unwrap();
+    assert_eq!(decoded.model, None);
+    // A non-string model id is a typed protocol error, not a panic.
+    assert!(matches!(
+        decode_json_request(b"{\"shape\": [1], \"data\": [1.0], \"model\": 7}"),
+        Err(ServeError::Protocol(_))
+    ));
+
+    // The u8 length prefix bounds names at 255 bytes; the encoder truncates
+    // at a char boundary rather than emitting an illegal frame.
+    let long = "\u{b5}".repeat(400); // 2 bytes per char
+    let encoded = encode_frame_request(&sample_request(&[1], &[1.0], 0).with_model(long));
+    let model = decode_frame_request(&encoded).unwrap().model.unwrap();
+    assert!(model.len() <= 255);
+    assert!(!model.is_empty() && model.chars().all(|c| c == '\u{b5}'));
+
+    // A lying model_len over a short payload is refused before allocation.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0_u64.to_le_bytes()); // seed
+    payload.extend_from_slice(&0_u64.to_le_bytes()); // deadline_us
+    payload.push(200); // claims 200 bytes of model id...
+    payload.extend_from_slice(b"abc"); // ...delivers 3
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&REQUEST_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    assert!(matches!(
+        decode_frame_request(&frame),
+        Err(ServeError::Protocol(_))
+    ));
 }
 
 #[test]

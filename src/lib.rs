@@ -495,6 +495,40 @@ impl Engine {
         })
     }
 
+    /// Derives an engine running `network` — e.g. weights reloaded from a
+    /// checkpoint — with this engine's encoder, precision, thread count and
+    /// hardware configuration. This is the hot-reload path: the serving
+    /// registry validates the derived engine against golden probes and
+    /// swaps it in atomically while the incumbent keeps serving.
+    ///
+    /// The network is quantized to [`Engine::precision`] and the hardware
+    /// plan is rebuilt for its geometry. Unlike [`EngineBuilder::build`],
+    /// batch-norm folding is *not* applied — a checkpointed network carries
+    /// whatever structure it was saved with; request folding through the
+    /// builder when loading raw training checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Same quantization and hardware coverage validation as
+    /// [`EngineBuilder::build`] (e.g. the hardware allocation must cover
+    /// the new network's layers).
+    pub fn with_network(&self, mut network: SnnNetwork) -> Result<Engine, SnnError> {
+        network.apply_precision(self.shared.precision)?;
+        let hardware = self.shared.plan.config().clone();
+        check_dense_core(&self.shared.encoder, &hardware)?;
+        let plan =
+            HybridAccelerator::new(&network, hardware)?.plan(self.shared.encoder.timesteps)?;
+        Ok(Engine {
+            shared: Arc::new(EngineShared {
+                network: Arc::new(network),
+                encoder: self.shared.encoder,
+                plan,
+                precision: self.shared.precision,
+                threads: self.shared.threads,
+            }),
+        })
+    }
+
     /// The number of worker threads [`Session::run_batch`] fans out over.
     pub fn threads(&self) -> usize {
         self.shared.threads
