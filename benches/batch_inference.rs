@@ -23,6 +23,10 @@
 //! * `train_epoch` — one BPTT sample (event-driven vs retained dense sweep)
 //!   and one full `Trainer::fit` epoch over 8 synthetic samples at 1/2/4
 //!   worker threads (bitwise-identical results at every thread count).
+//! * `train_checkpoint` — atomic checkpoint save/load latency plus 8-epoch
+//!   fits at checkpoint cadences none / every-8-steps / every-step; asserts
+//!   (also in the `--test` CI smoke) that the every-8 cadence costs under 5%
+//!   of epoch time.
 //!
 //! Run with: `cargo bench --bench batch_inference`
 //! Machine-readable output: `BENCH_JSON=out.json cargo bench ...` appends
@@ -32,7 +36,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use snn::train::bptt::{Bptt, BpttScratch};
 use snn::train::surrogate::SurrogateKind;
-use snn::train::trainer::{TrainConfig, Trainer};
+use snn::train::trainer::{StopHandle, TrainConfig, Trainer};
+use snn::train::TrainCheckpoint;
 use snn::{Engine, Precision};
 use snn_core::encoding::Encoder;
 use snn_core::layers::{Conv2d, ConvScratch};
@@ -283,13 +288,117 @@ fn bench_train(c: &mut Criterion) {
         cfg.threads = threads;
         group.bench_function(BenchmarkId::new("fit_8samples_threads", threads), |b| {
             b.iter(|| {
-                let mut trainer = Trainer::new(cfg.clone());
+                let mut trainer = Trainer::new(cfg.clone()).expect("config");
                 let mut train_net = net.clone();
                 trainer.fit(&mut train_net, &data).expect("fit")
             });
         });
     }
     group.finish();
+}
+
+fn bench_train_checkpoint(c: &mut Criterion) {
+    let data = SyntheticDataset::generate(SyntheticConfig::cifar10_like().scaled_down(16, 20, 10));
+    let dir = std::env::temp_dir().join(format!("snn_bench_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let path = dir.join("bench.snntrain");
+
+    let base_cfg = |every: usize, with_path: bool| {
+        let mut cfg = TrainConfig::quick();
+        cfg.epochs = 8;
+        cfg.max_train_samples = Some(8);
+        cfg.batch_size = 8; // one optimizer step per epoch
+        cfg.threads = 1;
+        cfg.checkpoint_every = every;
+        cfg.checkpoint_path = with_path.then(|| path.clone());
+        cfg
+    };
+
+    // A real mid-run checkpoint for the save/load arms: stop after 1 step.
+    let checkpoint = {
+        let stop = StopHandle::new();
+        stop.stop_after_steps(1);
+        let mut net = vgg9(&Vgg9Config::cifar10_small()).expect("vgg9 builds");
+        let mut trainer = Trainer::new(base_cfg(1, true)).expect("config");
+        trainer
+            .fit_with_stop(&mut net, &data, &stop)
+            .expect("checkpointed run");
+        TrainCheckpoint::load(&path).expect("load checkpoint")
+    };
+
+    let mut group = c.benchmark_group("train_checkpoint");
+    // Atomic durable save (temp file + fsync + rename + CRC-64 trailer) and
+    // the matching verified load.
+    group.bench_function("save", |b| {
+        b.iter(|| checkpoint.save(&path).expect("save"));
+    });
+    group.bench_function("load", |b| {
+        b.iter(|| TrainCheckpoint::load(&path).expect("load"));
+    });
+    // Full 8-epoch fits (one step per epoch) at checkpoint cadences: none,
+    // every 8 steps (the documented ops cadence) and every step.
+    for &(every, with_path, label) in &[
+        (0_usize, false, "none"),
+        (8, true, "every8"),
+        (1, true, "every1"),
+    ] {
+        let cfg = base_cfg(every, with_path);
+        group.bench_function(BenchmarkId::new("fit_8epochs_ckpt", label), |b| {
+            b.iter(|| {
+                let mut trainer = Trainer::new(cfg.clone()).expect("config");
+                let mut net = vgg9(&Vgg9Config::cifar10_small()).expect("vgg9 builds");
+                trainer.fit(&mut net, &data).expect("fit")
+            });
+        });
+    }
+    group.finish();
+
+    // Overhead contract, enforced in the CI smoke (`--test`) and in full
+    // runs alike: at `checkpoint_every = 8`, checkpointing costs at most one
+    // save per 8 optimizer steps, so its per-epoch overhead (save/8 here,
+    // with one step per epoch) must stay under 5% of the epoch time.
+    // Measured directly with medians so bench-loop noise can't flake CI.
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        samples[samples.len() / 2]
+    };
+    let mut save_times: Vec<f64> = (0..9)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            checkpoint.save(&path).expect("save");
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    let mut epoch_times: Vec<f64> = (0..3)
+        .map(|_| {
+            let mut cfg = base_cfg(0, false);
+            cfg.epochs = 1;
+            let mut trainer = Trainer::new(cfg).expect("config");
+            let mut net = vgg9(&Vgg9Config::cifar10_small()).expect("vgg9 builds");
+            let start = std::time::Instant::now();
+            trainer.fit(&mut net, &data).expect("fit");
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    let save = median(&mut save_times);
+    let epoch = median(&mut epoch_times);
+    let overhead = save / 8.0 / epoch;
+    println!(
+        "train_checkpoint overhead: save {:.1} us, epoch {:.1} us, \
+         every=8 overhead {:.2}% (must stay < 5%)",
+        save * 1e6,
+        epoch * 1e6,
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.05,
+        "checkpoint overhead at checkpoint_every=8 must stay under 5% of \
+         epoch time (save {:.1} us, epoch {:.1} us, overhead {:.2}%)",
+        save * 1e6,
+        epoch * 1e6,
+        overhead * 100.0
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 criterion_group!(
@@ -299,6 +408,7 @@ criterion_group!(
     bench_matmul,
     bench_bptt_backward,
     bench_input_grad,
-    bench_train
+    bench_train,
+    bench_train_checkpoint
 );
 criterion_main!(benches);

@@ -129,7 +129,7 @@ pub fn train_and_evaluate(
     cfg.epochs = scale.epochs();
     cfg.max_train_samples = Some(scale.train_samples());
     cfg.batch_size = 8;
-    let mut trainer = Trainer::new(cfg);
+    let mut trainer = Trainer::new(cfg)?;
     trainer.fit(&mut network, &data)?;
     // Materialise the quantized weights for inference, as the hardware does.
     network.apply_precision(precision)?;

@@ -71,7 +71,7 @@ pub fn run(scale: ExperimentScale) -> Result<Fig1Report, SnnError> {
         cfg.epochs = scale.epochs();
         cfg.max_train_samples = Some(scale.train_samples());
         cfg.batch_size = 8;
-        Trainer::new(cfg).fit(&mut network, &data)?;
+        Trainer::new(cfg)?.fit(&mut network, &data)?;
 
         // Evaluate the same trained weights at both precisions.
         let mut fp32_net = network.clone();

@@ -104,56 +104,7 @@ impl Checkpoint {
     ///
     /// Returns [`SnnError::InvalidConfig`] on I/O failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnnError> {
-        let path = path.as_ref();
-        let json = self.to_json()?;
-        let payload = json.as_bytes();
-        let mut bytes = Vec::with_capacity(payload.len() + TRAILER_LEN);
-        bytes.extend_from_slice(payload);
-        bytes.extend_from_slice(&TRAILER_MAGIC);
-        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        bytes.extend_from_slice(&crc64(payload).to_le_bytes());
-        let io_err = |what: &str, e: std::io::Error| {
-            SnnError::config(
-                "path",
-                format!("failed to {what} checkpoint {}: {e}", path.display()),
-            )
-        };
-        // Unique temp name in the *same directory* (rename must not cross a
-        // filesystem boundary). The process id + address entropy is enough:
-        // the file exists only for the duration of this call.
-        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
-        let stem = path.file_name().map(|n| n.to_string_lossy().into_owned());
-        let tmp_name = format!(
-            ".{}.tmp.{}",
-            stem.unwrap_or_else(|| "checkpoint".to_string()),
-            std::process::id(),
-        );
-        let tmp = match dir {
-            Some(dir) => dir.join(&tmp_name),
-            None => std::path::PathBuf::from(&tmp_name),
-        };
-        let result = (|| {
-            let mut file = fs::File::create(&tmp).map_err(|e| io_err("create temp for", e))?;
-            file.write_all(&bytes).map_err(|e| io_err("write", e))?;
-            // Durability point 1: the temp file's contents reach the disk
-            // before the rename can make them visible under `path`.
-            file.sync_all().map_err(|e| io_err("sync", e))?;
-            drop(file);
-            fs::rename(&tmp, path).map_err(|e| io_err("commit", e))?;
-            // Durability point 2 (best effort): persist the directory entry
-            // so the rename itself survives power loss. Not all platforms
-            // support opening a directory for sync; failure is not fatal.
-            if let Some(dir) = dir {
-                if let Ok(d) = fs::File::open(dir) {
-                    let _ = d.sync_all();
-                }
-            }
-            Ok(())
-        })();
-        if result.is_err() {
-            let _ = fs::remove_file(&tmp);
-        }
-        result
+        save_payload(path.as_ref(), self.to_json()?.as_bytes())
     }
 
     /// Reads and verifies a checkpoint from a file.
@@ -173,18 +124,101 @@ impl Checkpoint {
     /// truncation, checksum mismatch, malformed JSON or an unsupported
     /// version.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, SnnError> {
-        let path = path.as_ref();
-        let bytes = fs::read(path).map_err(|e| {
-            SnnError::config(
-                "path",
-                format!("failed to read checkpoint {}: {e}", path.display()),
-            )
-        })?;
-        let payload = verify_trailer(&bytes)?;
-        let json = std::str::from_utf8(payload)
+        let bytes = load_payload(path.as_ref())?;
+        let json = std::str::from_utf8(&bytes)
             .map_err(|_| SnnError::config("checkpoint", "checkpoint payload is not valid UTF-8"))?;
         Self::from_json(json)
     }
+}
+
+/// Writes `payload` to `path` atomically and durably, framed with the
+/// [`TRAILER_MAGIC`] integrity trailer (payload length + CRC-64) that
+/// [`load_payload`] verifies.
+///
+/// This is the shared crash-safe persistence primitive: the bytes go to a
+/// unique temporary sibling file first, are fsynced, and the temp file is
+/// renamed over `path` (followed by a best-effort fsync of the directory), so
+/// a crash or power loss at any point leaves either the previous file or the
+/// complete new one — never a torn write. [`Checkpoint::save`] (model
+/// checkpoints) and the training-state checkpoints of `snn-train` both ride
+/// this path; the payload encoding is the caller's business.
+///
+/// # Errors
+///
+/// Returns [`SnnError::InvalidConfig`] on I/O failure.
+pub fn save_payload(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), SnnError> {
+    let path = path.as_ref();
+    let mut bytes = Vec::with_capacity(payload.len() + TRAILER_LEN);
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&TRAILER_MAGIC);
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc64(payload).to_le_bytes());
+    let io_err = |what: &str, e: std::io::Error| {
+        SnnError::config(
+            "path",
+            format!("failed to {what} checkpoint {}: {e}", path.display()),
+        )
+    };
+    // Unique temp name in the *same directory* (rename must not cross a
+    // filesystem boundary). The process id + address entropy is enough:
+    // the file exists only for the duration of this call.
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let stem = path.file_name().map(|n| n.to_string_lossy().into_owned());
+    let tmp_name = format!(
+        ".{}.tmp.{}",
+        stem.unwrap_or_else(|| "checkpoint".to_string()),
+        std::process::id(),
+    );
+    let tmp = match dir {
+        Some(dir) => dir.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut file = fs::File::create(&tmp).map_err(|e| io_err("create temp for", e))?;
+        file.write_all(&bytes).map_err(|e| io_err("write", e))?;
+        // Durability point 1: the temp file's contents reach the disk
+        // before the rename can make them visible under `path`.
+        file.sync_all().map_err(|e| io_err("sync", e))?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(|e| io_err("commit", e))?;
+        // Durability point 2 (best effort): persist the directory entry
+        // so the rename itself survives power loss. Not all platforms
+        // support opening a directory for sync; failure is not fatal.
+        if let Some(dir) = dir {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Reads a file written by [`save_payload`] and returns its verified payload.
+///
+/// Verification order: the [`TRAILER_MAGIC`] trailer is located and its
+/// declared payload length checked against the actual bytes (catching
+/// truncation), then the payload's CRC-64 is recomputed (catching any
+/// single-bit flip and virtually all larger corruptions). Only then does the
+/// caller get to parse the payload.
+///
+/// # Errors
+///
+/// Returns [`SnnError::InvalidConfig`] — never panics — on I/O failure,
+/// truncation or checksum mismatch.
+pub fn load_payload(path: impl AsRef<Path>) -> Result<Vec<u8>, SnnError> {
+    let path = path.as_ref();
+    let bytes = fs::read(path).map_err(|e| {
+        SnnError::config(
+            "path",
+            format!("failed to read checkpoint {}: {e}", path.display()),
+        )
+    })?;
+    let payload = verify_trailer(&bytes)?;
+    Ok(payload.to_vec())
 }
 
 /// Magic of the integrity trailer appended by [`Checkpoint::save`]:
@@ -234,14 +268,20 @@ fn verify_trailer(bytes: &[u8]) -> Result<&[u8], SnnError> {
 /// CRC-64/XZ (reflected, polynomial `0xC96C5795D7870F42`): detects every
 /// single-bit flip and burst errors up to 64 bits, which is exactly the
 /// integrity class checkpoint corruption tests exercise. Byte-at-a-time
-/// with a lazily-built 256-entry table.
-fn crc64(bytes: &[u8]) -> u64 {
+/// with a lazily-built 256-entry table. Public so callers can fingerprint
+/// their own payloads (e.g. the trainer's dataset fingerprint) with the
+/// same checksum the checkpoint trailer uses.
+pub fn crc64(bytes: &[u8]) -> u64 {
     use std::sync::OnceLock;
     const POLY: u64 = 0xC96C_5795_D787_0F42;
-    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut table = [0u64; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
+    // Slice-by-8: table[0] is the classic byte-at-a-time table; table[k]
+    // advances a byte's contribution k extra bytes through the register, so
+    // eight input bytes fold in one step. Same polynomial, same values —
+    // the reference check-value test pins the equivalence.
+    static TABLES: OnceLock<[[u64; 256]; 8]> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        let mut tables = [[0u64; 256]; 8];
+        for (i, entry) in tables[0].iter_mut().enumerate() {
             let mut crc = i as u64;
             for _ in 0..8 {
                 let mask = (crc & 1).wrapping_neg();
@@ -249,11 +289,30 @@ fn crc64(bytes: &[u8]) -> u64 {
             }
             *entry = crc;
         }
-        table
+        for k in 1..8 {
+            let prev_row = tables[k - 1];
+            let table0 = tables[0];
+            for (entry, &prev) in tables[k].iter_mut().zip(prev_row.iter()) {
+                *entry = (prev >> 8) ^ table0[usize::from(prev as u8)];
+            }
+        }
+        tables
     });
     let mut crc = !0u64;
-    for &byte in bytes {
-        crc = (crc >> 8) ^ table[usize::from((crc ^ u64::from(byte)) as u8)];
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")) ^ crc;
+        crc = tables[7][usize::from(word as u8)]
+            ^ tables[6][usize::from((word >> 8) as u8)]
+            ^ tables[5][usize::from((word >> 16) as u8)]
+            ^ tables[4][usize::from((word >> 24) as u8)]
+            ^ tables[3][usize::from((word >> 32) as u8)]
+            ^ tables[2][usize::from((word >> 40) as u8)]
+            ^ tables[1][usize::from((word >> 48) as u8)]
+            ^ tables[0][usize::from((word >> 56) as u8)];
+    }
+    for &byte in chunks.remainder() {
+        crc = (crc >> 8) ^ tables[0][usize::from((crc ^ u64::from(byte)) as u8)];
     }
     !crc
 }

@@ -77,6 +77,21 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
         })
 }
 
+/// splitmix64 finalizer — a strong 64-bit mix, the standard seeding
+/// primitive of the xoshiro family.
+///
+/// This is the shared deterministic-hash primitive behind every seeded
+/// fault-injection plan in the workspace (`snn_serve::FaultPlan`,
+/// `snn_train::TrainFaultPlan`) and the retry jitter: decisions derived by
+/// domain-separated chains of this mix are pure functions of their seeds, so
+/// they are independent of batching, thread count and scheduling.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 #[cfg(test)]
 mod thread_tests {
     /// All `SNN_THREADS` scenarios live in one test so the process-global

@@ -1,5 +1,6 @@
 //! Dataset abstractions shared by the trainer and the experiment harnesses.
 
+use snn_core::error::SnnError;
 use snn_core::tensor::Tensor;
 
 /// One labelled image.
@@ -9,6 +10,35 @@ pub struct Sample {
     pub image: Tensor,
     /// The class label in `0..num_classes`.
     pub label: usize,
+}
+
+impl Sample {
+    /// Validates the sample before it reaches compute: every pixel must be
+    /// finite and the label must be in `0..num_classes`. The trainer calls
+    /// this per sample and quarantines (rather than trains on) anything that
+    /// fails — a NaN pixel would silently poison the whole batch gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::NumericalError`] for a non-finite pixel and
+    /// [`SnnError::InvalidConfig`] for an out-of-range label.
+    pub fn validate(&self, num_classes: usize) -> Result<(), SnnError> {
+        if let Some(position) = self.image.as_slice().iter().position(|v| !v.is_finite()) {
+            return Err(SnnError::numerical(format!(
+                "sample image has a non-finite pixel at flat index {position}"
+            )));
+        }
+        if self.label >= num_classes {
+            return Err(SnnError::config(
+                "label",
+                format!(
+                    "label {} is out of range for {num_classes} classes",
+                    self.label
+                ),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Which split of a dataset to draw from.

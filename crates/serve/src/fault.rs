@@ -138,14 +138,10 @@ impl FaultPlan {
     }
 }
 
-/// splitmix64 finalizer — a strong 64-bit mix, the standard seeding
-/// primitive of the xoshiro family. Shared with the retry jitter.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+/// splitmix64 finalizer, re-exported from `snn-core` (the single shared
+/// implementation across serve and train fault plans). Shared with the
+/// retry jitter.
+pub(crate) use snn_core::splitmix64;
 
 /// Domain-separated hash of two words.
 fn hash2(a: u64, b: u64, domain: u64) -> u64 {

@@ -1,0 +1,189 @@
+//! Typed errors of the training loop.
+//!
+//! [`TrainError`] is the error surface of [`crate::trainer::Trainer`]:
+//! configuration validation, resume compatibility, the non-finite fail-fast
+//! and the quarantine fault budget all abort with a variant that names the
+//! failure — and, where a training checkpoint exists, points at the
+//! last-good checkpoint path so the run can be resumed after the cause is
+//! fixed. Lower-level shape/serialisation failures travel as the wrapped
+//! [`SnnError`].
+
+use snn_core::error::SnnError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Error returned by the training loop and checkpoint machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// A [`crate::trainer::TrainConfig`] value is outside its legal range
+    /// (zero batch size, zero epochs, zero threads, …).
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: String,
+        /// Explanation of the violated constraint.
+        message: String,
+    },
+    /// A batch's mean loss or gradient norm went NaN/Inf **after**
+    /// quarantine filtering — training past this point would silently
+    /// optimise garbage, so the run aborts before the optimizer step.
+    NonFinite {
+        /// Epoch in which the batch went non-finite (0-based).
+        epoch: usize,
+        /// Batch index within the epoch (0-based).
+        batch: usize,
+        /// What went non-finite (`"batch loss"` or `"gradient norm"`).
+        what: String,
+        /// Last successfully saved training checkpoint, if any — resume
+        /// from here after fixing the cause.
+        last_good: Option<PathBuf>,
+    },
+    /// More samples were quarantined than
+    /// [`crate::trainer::TrainConfig::fault_budget`] tolerates.
+    FaultBudgetExceeded {
+        /// Quarantined samples so far (including the one that tripped).
+        faults: usize,
+        /// The configured budget.
+        budget: usize,
+        /// Epoch in which the budget tripped (0-based).
+        epoch: usize,
+        /// Last successfully saved training checkpoint, if any.
+        last_good: Option<PathBuf>,
+    },
+    /// A checkpoint cannot resume against the given network or dataset
+    /// (shape mismatch, different dataset, wrong optimizer structure).
+    IncompatibleResume {
+        /// What does not line up.
+        reason: String,
+    },
+    /// A wrapped core error (shapes, encoder, serialisation, I/O).
+    Snn(SnnError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid training configuration `{parameter}`: {message}")
+            }
+            TrainError::NonFinite {
+                epoch,
+                batch,
+                what,
+                last_good,
+            } => {
+                write!(
+                    f,
+                    "non-finite {what} at epoch {epoch}, batch {batch}; training aborted before \
+                     the optimizer step"
+                )?;
+                match last_good {
+                    Some(path) => {
+                        write!(f, " (resume from last-good checkpoint {})", path.display())
+                    }
+                    None => write!(f, " (no checkpoint configured; progress lost)"),
+                }
+            }
+            TrainError::FaultBudgetExceeded {
+                faults,
+                budget,
+                epoch,
+                last_good,
+            } => {
+                write!(
+                    f,
+                    "fault budget exceeded at epoch {epoch}: {faults} samples quarantined \
+                     (budget {budget})"
+                )?;
+                match last_good {
+                    Some(path) => {
+                        write!(f, " (resume from last-good checkpoint {})", path.display())
+                    }
+                    None => write!(f, " (no checkpoint configured)"),
+                }
+            }
+            TrainError::IncompatibleResume { reason } => {
+                write!(f, "checkpoint cannot resume here: {reason}")
+            }
+            TrainError::Snn(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Snn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnnError> for TrainError {
+    fn from(e: SnnError) -> Self {
+        TrainError::Snn(e)
+    }
+}
+
+/// Lossy downgrade for callers whose error surface is [`SnnError`] (the
+/// experiment harnesses): the typed variant collapses into the closest core
+/// variant, keeping the full message.
+impl From<TrainError> for SnnError {
+    fn from(e: TrainError) -> Self {
+        match e {
+            TrainError::Snn(inner) => inner,
+            TrainError::InvalidConfig { parameter, message } => {
+                SnnError::config(parameter, message)
+            }
+            other @ TrainError::NonFinite { .. } => SnnError::numerical(other.to_string()),
+            other => SnnError::config("training", other.to_string()),
+        }
+    }
+}
+
+impl TrainError {
+    /// The last-good checkpoint path carried by abort variants, if any —
+    /// the place to [`crate::trainer::Trainer::resume`] from.
+    pub fn last_good_checkpoint(&self) -> Option<&std::path::Path> {
+        match self {
+            TrainError::NonFinite { last_good, .. }
+            | TrainError::FaultBudgetExceeded { last_good, .. } => last_good.as_deref(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_and_the_checkpoint() {
+        let err = TrainError::NonFinite {
+            epoch: 3,
+            batch: 7,
+            what: "batch loss".into(),
+            last_good: Some(PathBuf::from("/tmp/run.snntrain")),
+        };
+        let text = err.to_string();
+        assert!(text.contains("epoch 3"));
+        assert!(text.contains("batch 7"));
+        assert!(text.contains("run.snntrain"));
+        assert_eq!(
+            err.last_good_checkpoint(),
+            Some(std::path::Path::new("/tmp/run.snntrain"))
+        );
+    }
+
+    #[test]
+    fn snn_error_round_trips_through_train_error() {
+        let inner = SnnError::shape(&[1], &[2], "test");
+        let wrapped = TrainError::from(inner.clone());
+        assert_eq!(SnnError::from(wrapped), inner);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrainError>();
+    }
+}

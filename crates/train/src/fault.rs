@@ -1,0 +1,228 @@
+//! Deterministic fault injection and fault reporting for training.
+//!
+//! Mirrors the serving stack's chaos machinery (`snn_serve::FaultPlan`): a
+//! [`TrainFaultPlan`] is a seeded, pure description of which training
+//! samples misbehave and how. The decision for a sample is a hash of
+//! `(plan seed, epoch, sample index)` alone — **independent of batch size,
+//! worker count and thread scheduling** — so a chaos run quarantines exactly
+//! the same samples whether it executes on 1 thread or 8, and the surviving
+//! training trajectory can be compared bitwise against a sequential
+//! reference.
+//!
+//! [`SampleFault`] / [`FaultReason`] are the *reporting* side: every sample
+//! the trainer quarantines (injected or real) lands in
+//! [`TrainReport::faults`](crate::trainer::TrainReport::faults) as one typed
+//! entry.
+//!
+//! ```
+//! use snn_train::{TrainFault, TrainFaultPlan};
+//!
+//! let plan = TrainFaultPlan::new(42).with_panic_rate(0.5);
+//! // Decisions are a pure function of (plan seed, epoch, sample index):
+//! assert_eq!(plan.fault_for(0, 7), plan.fault_for(0, 7));
+//! ```
+
+use snn_core::splitmix64;
+
+/// What a [`TrainFaultPlan`] decided to do to one `(epoch, sample)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainFault {
+    /// Process the sample normally.
+    None,
+    /// The gradient worker panics on this sample (contained by the
+    /// trainer's per-sample supervision; the sample is quarantined).
+    Panic,
+    /// The sample's gradients come back as NaN (quarantined, or — with
+    /// quarantine disabled — poisoning the batch and tripping the
+    /// non-finite fail-fast).
+    NanGrad,
+    /// The sample's pixels are corrupted to NaN before encoding (caught by
+    /// input validation and quarantined as invalid data).
+    CorruptSample,
+}
+
+/// A seeded, deterministic description of injected training faults.
+///
+/// All rates are probabilities in `[0, 1]`, evaluated per `(epoch, sample)`
+/// from one uniform draw they partition, so
+/// `panic_rate + nan_grad_rate + corrupt_rate` should not exceed 1 (excess
+/// is clipped in that order).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainFaultPlan {
+    /// Seed of the plan; different seeds produce independent fault sets.
+    pub seed: u64,
+    /// Probability that a sample's gradient computation panics.
+    pub panic_rate: f64,
+    /// Probability that a sample's gradients are replaced with NaN.
+    pub nan_grad_rate: f64,
+    /// Probability that a sample's input pixels are corrupted to NaN.
+    pub corrupt_rate: f64,
+}
+
+impl TrainFaultPlan {
+    /// A plan with the given seed and no faults; switch them on with the
+    /// `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        TrainFaultPlan {
+            seed,
+            panic_rate: 0.0,
+            nan_grad_rate: 0.0,
+            corrupt_rate: 0.0,
+        }
+    }
+
+    /// Sets the worker-panic probability.
+    pub fn with_panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate;
+        self
+    }
+
+    /// Sets the NaN-gradient probability.
+    pub fn with_nan_grad_rate(mut self, rate: f64) -> Self {
+        self.nan_grad_rate = rate;
+        self
+    }
+
+    /// Sets the corrupt-input probability.
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// The fault this plan assigns to dataset sample `index` during
+    /// `epoch`. Pure: depends only on the plan and the arguments.
+    pub fn fault_for(&self, epoch: usize, index: usize) -> TrainFault {
+        let draw = unit(hash3(self.seed, epoch as u64, index as u64, 0x747261696e)); // "train"
+        if draw < self.panic_rate {
+            TrainFault::Panic
+        } else if draw < self.panic_rate + self.nan_grad_rate {
+            TrainFault::NanGrad
+        } else if draw < self.panic_rate + self.nan_grad_rate + self.corrupt_rate {
+            TrainFault::CorruptSample
+        } else {
+            TrainFault::None
+        }
+    }
+}
+
+/// Domain-separated hash of three words.
+fn hash3(a: u64, b: u64, c: u64, domain: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(a ^ splitmix64(domain)) ^ b) ^ c)
+}
+
+/// Maps a hash onto `[0, 1)` with 53-bit precision.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Why one sample was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultReason {
+    /// The gradient worker panicked on this sample; the payload is the
+    /// panic message (or `"<non-string panic payload>"`).
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+    /// The sample produced a non-finite loss or gradient.
+    NonFinite {
+        /// What was non-finite (`"loss"` or `"gradient"`).
+        what: String,
+    },
+    /// The sample's input data failed validation before compute.
+    InvalidData {
+        /// What was wrong with the data.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FaultReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultReason::Panicked { message } => write!(f, "worker panicked: {message}"),
+            FaultReason::NonFinite { what } => write!(f, "non-finite {what}"),
+            FaultReason::InvalidData { detail } => write!(f, "invalid input data: {detail}"),
+        }
+    }
+}
+
+/// One quarantined sample, as reported in
+/// [`TrainReport::faults`](crate::trainer::TrainReport::faults).
+///
+/// Identified by dataset position — `(epoch, index)` — not by arrival
+/// order, so the fault list of a run is identical across batch sizes and
+/// thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleFault {
+    /// Epoch in which the sample was quarantined (0-based).
+    pub epoch: usize,
+    /// The sample's index in the (possibly truncated) training set.
+    pub index: usize,
+    /// Why it was quarantined.
+    pub reason: FaultReason,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_seed_dependent() {
+        let plan = TrainFaultPlan::new(1)
+            .with_panic_rate(0.1)
+            .with_nan_grad_rate(0.2)
+            .with_corrupt_rate(0.2);
+        for index in 0..64 {
+            assert_eq!(plan.fault_for(0, index), plan.fault_for(0, index));
+            assert_eq!(plan.fault_for(3, index), plan.fault_for(3, index));
+        }
+        // A different plan seed reshuffles the fault assignment.
+        let other = TrainFaultPlan { seed: 2, ..plan };
+        assert!((0..256).any(|i| plan.fault_for(0, i) != other.fault_for(0, i)));
+        // Different epochs draw independent faults for the same sample.
+        assert!((0..256).any(|i| plan.fault_for(0, i) != plan.fault_for(1, i)));
+    }
+
+    #[test]
+    fn rates_partition_one_draw() {
+        let all = TrainFaultPlan::new(3)
+            .with_panic_rate(0.5)
+            .with_nan_grad_rate(0.5);
+        assert!((0..128).all(|i| all.fault_for(0, i) != TrainFault::None));
+        let none = TrainFaultPlan::new(3);
+        assert!((0..128).all(|i| none.fault_for(0, i) == TrainFault::None));
+    }
+
+    #[test]
+    fn observed_rates_track_configured_rates() {
+        let plan = TrainFaultPlan::new(7).with_nan_grad_rate(0.25);
+        let n = 10_000;
+        let hits = (0..n)
+            .filter(|&i| plan.fault_for(0, i) == TrainFault::NanGrad)
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed NaN-grad rate {rate}");
+    }
+
+    #[test]
+    fn fault_reason_display_is_informative() {
+        let fault = SampleFault {
+            epoch: 1,
+            index: 9,
+            reason: FaultReason::Panicked {
+                message: "injected fault".into(),
+            },
+        };
+        assert!(fault.reason.to_string().contains("injected fault"));
+        assert!(FaultReason::NonFinite {
+            what: "loss".into()
+        }
+        .to_string()
+        .contains("loss"));
+        assert!(FaultReason::InvalidData {
+            detail: "NaN pixel".into()
+        }
+        .to_string()
+        .contains("NaN pixel"));
+    }
+}

@@ -27,10 +27,22 @@
 //!   once warm), and per-batch preparation of the QAT weight copies and
 //!   transposed filter banks,
 //! * [`trainer`] — the epoch/batch loop over a persistent worker pool
-//!   (bitwise identical at every thread count), QAT hook and evaluation
-//!   helpers.
+//!   (bitwise identical at every thread count), QAT hook, per-sample worker
+//!   supervision with poisoned-data quarantine, graceful interruption
+//!   ([`StopHandle`]) and evaluation helpers,
+//! * [`checkpoint`] — crash-safe, atomically-saved [`TrainCheckpoint`]s
+//!   (weights + full optimizer state + epoch/batch cursor) from which
+//!   [`Trainer::resume`] continues bitwise-identically to the uninterrupted
+//!   run,
+//! * [`error`] — the typed [`TrainError`] surface (validation, non-finite
+//!   fail-fast, fault budget, resume compatibility),
+//! * [`fault`] — seeded, batching/thread-invariant chaos injection
+//!   ([`TrainFaultPlan`]) and the [`SampleFault`] quarantine reporting.
 
 pub mod bptt;
+pub mod checkpoint;
+pub mod error;
+pub mod fault;
 pub mod grad;
 pub mod loss;
 pub mod metrics;
@@ -40,8 +52,12 @@ pub mod surrogate;
 pub mod trainer;
 
 pub use bptt::{Bptt, BpttConfig, BpttScratch, NetworkGradients};
+pub use checkpoint::{DataFingerprint, LayerWeights, TrainCheckpoint, TrainCursor};
+pub use error::TrainError;
+pub use fault::{FaultReason, SampleFault, TrainFault, TrainFaultPlan};
 pub use grad::{conv2d_input_grad_into, CachedLowering, GradScratch};
 pub use loss::{cross_entropy, softmax};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, Optimizer, OptimizerKind, OptimizerState, Sgd};
+pub use schedule::{LrSchedule, ScheduleKind};
 pub use surrogate::SurrogateKind;
-pub use trainer::{EvalReport, TrainConfig, TrainReport, Trainer};
+pub use trainer::{EvalReport, StopHandle, TrainConfig, TrainReport, Trainer};

@@ -3,10 +3,19 @@
 //! The optimizers operate on flat parameter/gradient pairs keyed by a stable
 //! parameter identifier (layer index + parameter role), so the trainer can
 //! feed them the conv/linear weights of a network in any order.
+//!
+//! Both optimizers can snapshot their full update state as an
+//! [`OptimizerState`] and be rebuilt from one, which is what makes training
+//! checkpoints resumable with bitwise-identical trajectories: the momentum
+//! buffers (SGD) and the first/second moments plus per-parameter timestep
+//! (Adam — the timestep drives bias correction) are the only mutable state
+//! an optimizer owns. Internally state lives in `BTreeMap`s so capture and
+//! serialisation order is deterministic.
 
+use serde::{Deserialize, Serialize};
 use snn_core::error::SnnError;
 use snn_core::tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A stochastic gradient-based optimizer.
 pub trait Optimizer {
@@ -27,12 +36,70 @@ pub trait Optimizer {
     fn set_learning_rate(&mut self, lr: f32);
 }
 
+/// Which optimizer a training run uses. Serialisable so a checkpoint can
+/// rebuild the exact update rule on resume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    Adam,
+    /// SGD with classical momentum.
+    Sgd {
+        /// Momentum coefficient in `[0, 1)`; 0 is plain SGD.
+        momentum: f32,
+    },
+}
+
+/// A complete snapshot of an optimizer's mutable state.
+///
+/// Capturing and restoring this (plus the parameters themselves) reproduces
+/// the optimizer's future updates bitwise — there is no hidden state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerState {
+    /// Snapshot of an [`Sgd`] optimizer.
+    Sgd {
+        /// Learning rate at capture time.
+        lr: f32,
+        /// Momentum coefficient.
+        momentum: f32,
+        /// Per-parameter velocity buffers.
+        velocity: BTreeMap<String, Tensor>,
+    },
+    /// Snapshot of an [`Adam`] optimizer.
+    Adam {
+        /// Learning rate at capture time.
+        lr: f32,
+        /// β₁ (first-moment decay).
+        beta1: f32,
+        /// β₂ (second-moment decay).
+        beta2: f32,
+        /// Numerical-stability epsilon.
+        epsilon: f32,
+        /// Per-parameter step counts (drive bias correction).
+        steps: BTreeMap<String, u64>,
+        /// Per-parameter first moments `m`.
+        first_moment: BTreeMap<String, Tensor>,
+        /// Per-parameter second moments `v`.
+        second_moment: BTreeMap<String, Tensor>,
+    },
+}
+
+impl OptimizerState {
+    /// Total optimizer steps taken so far (the maximum per-parameter step
+    /// count; all parameters of one network advance in lockstep).
+    pub fn step_count(&self) -> u64 {
+        match self {
+            OptimizerState::Sgd { .. } => 0,
+            OptimizerState::Adam { steps, .. } => steps.values().copied().max().unwrap_or(0),
+        }
+    }
+}
+
 /// Stochastic gradient descent with classical momentum.
 #[derive(Debug, Clone)]
 pub struct Sgd {
     lr: f32,
     momentum: f32,
-    velocity: HashMap<String, Tensor>,
+    velocity: BTreeMap<String, Tensor>,
 }
 
 impl Sgd {
@@ -41,7 +108,41 @@ impl Sgd {
         Sgd {
             lr,
             momentum,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
+        }
+    }
+
+    /// Snapshots the full mutable state (learning rate, momentum, velocity
+    /// buffers).
+    pub fn state(&self) -> OptimizerState {
+        OptimizerState::Sgd {
+            lr: self.lr,
+            momentum: self.momentum,
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    /// Rebuilds an SGD optimizer from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if the snapshot is for a
+    /// different optimizer kind.
+    pub fn from_state(state: OptimizerState) -> Result<Self, SnnError> {
+        match state {
+            OptimizerState::Sgd {
+                lr,
+                momentum,
+                velocity,
+            } => Ok(Sgd {
+                lr,
+                momentum,
+                velocity,
+            }),
+            OptimizerState::Adam { .. } => Err(SnnError::config(
+                "optimizer_state",
+                "snapshot is for Adam, not SGD",
+            )),
         }
     }
 }
@@ -88,9 +189,9 @@ pub struct Adam {
     beta1: f32,
     beta2: f32,
     epsilon: f32,
-    steps: HashMap<String, u64>,
-    first_moment: HashMap<String, Tensor>,
-    second_moment: HashMap<String, Tensor>,
+    steps: BTreeMap<String, u64>,
+    first_moment: BTreeMap<String, Tensor>,
+    second_moment: BTreeMap<String, Tensor>,
 }
 
 impl Adam {
@@ -101,9 +202,55 @@ impl Adam {
             beta1: 0.9,
             beta2: 0.999,
             epsilon: 1e-8,
-            steps: HashMap::new(),
-            first_moment: HashMap::new(),
-            second_moment: HashMap::new(),
+            steps: BTreeMap::new(),
+            first_moment: BTreeMap::new(),
+            second_moment: BTreeMap::new(),
+        }
+    }
+
+    /// Snapshots the full mutable state (hyperparameters, per-parameter step
+    /// counts and both moment maps).
+    pub fn state(&self) -> OptimizerState {
+        OptimizerState::Adam {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            epsilon: self.epsilon,
+            steps: self.steps.clone(),
+            first_moment: self.first_moment.clone(),
+            second_moment: self.second_moment.clone(),
+        }
+    }
+
+    /// Rebuilds an Adam optimizer from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if the snapshot is for a
+    /// different optimizer kind.
+    pub fn from_state(state: OptimizerState) -> Result<Self, SnnError> {
+        match state {
+            OptimizerState::Adam {
+                lr,
+                beta1,
+                beta2,
+                epsilon,
+                steps,
+                first_moment,
+                second_moment,
+            } => Ok(Adam {
+                lr,
+                beta1,
+                beta2,
+                epsilon,
+                steps,
+                first_moment,
+                second_moment,
+            }),
+            OptimizerState::Sgd { .. } => Err(SnnError::config(
+                "optimizer_state",
+                "snapshot is for SGD, not Adam",
+            )),
         }
     }
 }
@@ -120,16 +267,25 @@ impl Optimizer for Adam {
             .first_moment
             .entry(key.to_string())
             .or_insert_with(|| Tensor::zeros(param.shape()));
+        if m.shape() != param.shape() {
+            *m = Tensor::zeros(param.shape());
+        }
         let v = self
             .second_moment
             .entry(key.to_string())
             .or_insert_with(|| Tensor::zeros(param.shape()));
-        if m.shape() != param.shape() {
-            *m = Tensor::zeros(param.shape());
-        }
         if v.shape() != param.shape() {
             *v = Tensor::zeros(param.shape());
         }
+        // Re-borrow both maps simultaneously; the entries exist now.
+        let m = self
+            .first_moment
+            .get_mut(key)
+            .expect("entry inserted above");
+        let v = self
+            .second_moment
+            .get_mut(key)
+            .expect("entry inserted above");
         let (b1, b2) = (self.beta1, self.beta2);
         let bias1 = 1.0 - b1.powi(t as i32);
         let bias2 = 1.0 - b2.powi(t as i32);
@@ -237,5 +393,65 @@ mod tests {
         let grad = Tensor::ones(&[1]);
         boxed.step("p", &mut param, &grad).unwrap();
         assert!(param.as_slice()[0] < 0.0);
+    }
+
+    /// Interrupting a run, snapshotting, restoring into a fresh optimizer
+    /// and continuing must produce bitwise-identical parameters to the
+    /// uninterrupted run — for both optimizers.
+    #[test]
+    fn state_round_trip_resumes_bitwise() {
+        let grad_at = |x: f32| Tensor::from_vec(vec![2.0 * (x - 3.0)], &[1]).unwrap();
+
+        // Uninterrupted references.
+        let mut adam_ref = Adam::new(0.2);
+        let mut sgd_ref = Sgd::new(0.05, 0.9);
+        let mut pa_ref = Tensor::zeros(&[1]);
+        let mut ps_ref = Tensor::zeros(&[1]);
+        for _ in 0..50 {
+            let g = grad_at(pa_ref.as_slice()[0]);
+            adam_ref.step("x", &mut pa_ref, &g).unwrap();
+            let g = grad_at(ps_ref.as_slice()[0]);
+            sgd_ref.step("x", &mut ps_ref, &g).unwrap();
+        }
+
+        // Interrupted at step 20, resumed from snapshots.
+        let mut adam = Adam::new(0.2);
+        let mut sgd = Sgd::new(0.05, 0.9);
+        let mut pa = Tensor::zeros(&[1]);
+        let mut ps = Tensor::zeros(&[1]);
+        for _ in 0..20 {
+            let g = grad_at(pa.as_slice()[0]);
+            adam.step("x", &mut pa, &g).unwrap();
+            let g = grad_at(ps.as_slice()[0]);
+            sgd.step("x", &mut ps, &g).unwrap();
+        }
+        let mut adam = Adam::from_state(adam.state()).unwrap();
+        let mut sgd = Sgd::from_state(sgd.state()).unwrap();
+        for _ in 20..50 {
+            let g = grad_at(pa.as_slice()[0]);
+            adam.step("x", &mut pa, &g).unwrap();
+            let g = grad_at(ps.as_slice()[0]);
+            sgd.step("x", &mut ps, &g).unwrap();
+        }
+
+        assert_eq!(
+            pa.as_slice()[0].to_bits(),
+            pa_ref.as_slice()[0].to_bits(),
+            "Adam resume diverged"
+        );
+        assert_eq!(
+            ps.as_slice()[0].to_bits(),
+            ps_ref.as_slice()[0].to_bits(),
+            "SGD resume diverged"
+        );
+    }
+
+    #[test]
+    fn state_kind_mismatch_is_rejected() {
+        let adam = Adam::new(0.1);
+        let sgd = Sgd::new(0.1, 0.9);
+        assert!(Sgd::from_state(adam.state()).is_err());
+        assert!(Adam::from_state(sgd.state()).is_err());
+        assert_eq!(adam.state().step_count(), 0);
     }
 }

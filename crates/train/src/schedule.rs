@@ -68,6 +68,61 @@ impl LrSchedule for CosineAnnealing {
     }
 }
 
+/// A serialisable choice of learning-rate schedule, for
+/// [`TrainConfig`](crate::trainer::TrainConfig) and training checkpoints.
+///
+/// The position of a schedule is just the epoch index — it carries no other
+/// mutable state — so a resumed run re-derives the exact learning rate for
+/// every remaining epoch from the checkpointed cursor alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// [`StepDecay`]: multiply `base_lr` by `gamma` every `step` epochs.
+    Step {
+        /// Initial learning rate.
+        base_lr: f32,
+        /// Epochs between decays.
+        step: usize,
+        /// Multiplicative decay factor in `(0, 1]`.
+        gamma: f32,
+    },
+    /// [`CosineAnnealing`] from `base_lr` down to `min_lr`.
+    Cosine {
+        /// Initial learning rate.
+        base_lr: f32,
+        /// Final learning rate.
+        min_lr: f32,
+        /// Number of epochs over which to anneal.
+        total_epochs: usize,
+    },
+}
+
+impl LrSchedule for ScheduleKind {
+    fn learning_rate(&self, epoch: usize) -> f32 {
+        match *self {
+            ScheduleKind::Step {
+                base_lr,
+                step,
+                gamma,
+            } => StepDecay {
+                base_lr,
+                step,
+                gamma,
+            }
+            .learning_rate(epoch),
+            ScheduleKind::Cosine {
+                base_lr,
+                min_lr,
+                total_epochs,
+            } => CosineAnnealing {
+                base_lr,
+                min_lr,
+                total_epochs,
+            }
+            .learning_rate(epoch),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +189,42 @@ mod tests {
         ];
         for s in &schedules {
             assert!(s.learning_rate(3) > 0.0 || s.learning_rate(3) == 0.0);
+        }
+    }
+
+    #[test]
+    fn schedule_kind_delegates_bitwise() {
+        let step = ScheduleKind::Step {
+            base_lr: 0.1,
+            step: 2,
+            gamma: 0.5,
+        };
+        let cosine = ScheduleKind::Cosine {
+            base_lr: 0.1,
+            min_lr: 0.001,
+            total_epochs: 10,
+        };
+        for epoch in 0..20 {
+            assert_eq!(
+                step.learning_rate(epoch).to_bits(),
+                StepDecay {
+                    base_lr: 0.1,
+                    step: 2,
+                    gamma: 0.5
+                }
+                .learning_rate(epoch)
+                .to_bits()
+            );
+            assert_eq!(
+                cosine.learning_rate(epoch).to_bits(),
+                CosineAnnealing {
+                    base_lr: 0.1,
+                    min_lr: 0.001,
+                    total_epochs: 10
+                }
+                .learning_rate(epoch)
+                .to_bits()
+            );
         }
     }
 

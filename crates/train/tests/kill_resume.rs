@@ -1,0 +1,132 @@
+//! Hard-kill crash safety: a training process SIGKILL'd mid-run leaves a
+//! loadable checkpoint behind (atomic temp-file + rename + CRC trailer), and
+//! resuming from it reaches the same weights — bitwise — as a run that was
+//! never interrupted.
+//!
+//! The harness re-invokes this test binary as a child process running the
+//! `#[ignore]`d `child_training_run` test (an effectively endless training
+//! loop with `checkpoint_every = 1`), waits for the first checkpoints to
+//! appear, and kills the child with no warning whatsoever — possibly in the
+//! middle of a checkpoint write.
+
+use snn_core::network::{vgg9, Layer, SnnNetwork, Vgg9Config};
+use snn_data::{SyntheticConfig, SyntheticDataset};
+use snn_train::trainer::{StopHandle, TrainConfig, Trainer};
+use snn_train::TrainCheckpoint;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const PATH_ENV: &str = "SNN_TRAIN_KILL_PATH";
+
+fn data() -> SyntheticDataset {
+    SyntheticDataset::generate(SyntheticConfig::cifar10_like().scaled_down(16, 20, 10))
+}
+
+/// The child's configuration: effectively endless (1000 epochs), saving a
+/// checkpoint after every optimizer step.
+fn child_config(checkpoint_path: Option<PathBuf>) -> TrainConfig {
+    let mut cfg = TrainConfig::quick();
+    cfg.epochs = 1000;
+    cfg.max_train_samples = Some(4);
+    cfg.batch_size = 2;
+    cfg.threads = 2;
+    cfg.seed = 23;
+    cfg.checkpoint_every = usize::from(checkpoint_path.is_some());
+    cfg.checkpoint_path = checkpoint_path;
+    cfg
+}
+
+fn weight_bits(net: &SnnNetwork) -> Vec<u32> {
+    net.layers()
+        .iter()
+        .flat_map(|layer| match layer {
+            Layer::Conv { conv, .. } => conv.weight().as_slice().to_vec(),
+            Layer::Linear { linear, .. } => linear.weight().as_slice().to_vec(),
+            Layer::Pool { .. } => Vec::new(),
+        })
+        .map(|w| w.to_bits())
+        .collect()
+}
+
+/// Child body: train forever, checkpointing every step. Only runs when the
+/// parent set the path env var; as a plain `--ignored` test it no-ops.
+#[test]
+#[ignore = "child process body for kill_and_resume_matches_uninterrupted_run"]
+fn child_training_run() {
+    let Ok(path) = std::env::var(PATH_ENV) else {
+        return;
+    };
+    let data = data();
+    let mut net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let mut trainer = Trainer::new(child_config(Some(PathBuf::from(path)))).unwrap();
+    trainer.fit(&mut net, &data).unwrap();
+}
+
+#[test]
+fn kill_and_resume_matches_uninterrupted_run() {
+    let dir = std::env::temp_dir().join(format!("snn_kill_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("killed.snntrain");
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args(["--ignored", "--exact", "child_training_run", "--nocapture"])
+        .env(PATH_ENV, &path)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child trainer");
+
+    // Wait until the child has durably checkpointed at least 2 optimizer
+    // steps, then SIGKILL it — with no coordination, the kill can land
+    // mid-checkpoint-write, which is exactly what the atomic save must
+    // survive.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let observed_steps = loop {
+        if let Ok(checkpoint) = TrainCheckpoint::load(&path) {
+            if checkpoint.cursor.steps >= 2 {
+                break checkpoint.cursor.steps;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child produced no usable checkpoint within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    child.kill().expect("SIGKILL child");
+    let status = child.wait().expect("reap child");
+    assert!(!status.success(), "child was killed, not exited");
+
+    // The file left behind must load despite the uncoordinated kill.
+    let checkpoint = TrainCheckpoint::load(&path)
+        .expect("checkpoint must be loadable after SIGKILL (atomic save)");
+    let killed_at = checkpoint.cursor.steps;
+    assert!(killed_at >= observed_steps);
+
+    // Resume for two more optimizer steps, then compare bitwise against an
+    // uninterrupted run stopped at the same step count.
+    let target = killed_at + 2;
+    let data = data();
+    let stop = StopHandle::new();
+    stop.stop_after_steps(target);
+    let mut resumed_net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let resumed = Trainer::resume_with_stop(checkpoint, &mut resumed_net, &data, &stop).unwrap();
+    assert!(!resumed.completed);
+
+    let stop = StopHandle::new();
+    stop.stop_after_steps(target);
+    let mut reference_net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let mut trainer = Trainer::new(child_config(None)).unwrap();
+    let reference = trainer
+        .fit_with_stop(&mut reference_net, &data, &stop)
+        .unwrap();
+    assert!(!reference.completed);
+
+    assert_eq!(
+        weight_bits(&resumed_net),
+        weight_bits(&reference_net),
+        "weights after SIGKILL + resume diverge from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

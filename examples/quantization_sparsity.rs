@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut cfg = TrainConfig::quick_qat(precision);
         cfg.epochs = 2;
         cfg.encoder = encoder;
-        let mut trainer = Trainer::new(cfg);
+        let mut trainer = Trainer::new(cfg)?;
         let report = trainer.fit(&mut network, &data)?;
         network.apply_precision(precision)?;
         let eval = evaluate(&mut network, &data, Split::Test, &encoder, None)?;

@@ -20,7 +20,7 @@ fn train_quantize_infer_and_estimate() {
     let mut cfg = TrainConfig::quick_qat(Precision::Int4);
     cfg.max_train_samples = Some(8);
     cfg.batch_size = 4;
-    let mut trainer = Trainer::new(cfg);
+    let mut trainer = Trainer::new(cfg).unwrap();
     let report = trainer.fit(&mut network, &data).unwrap();
     assert!(report.final_loss().is_finite());
 

@@ -350,6 +350,24 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(std::path::PathBuf::from(s)),
+            other => Err(DeError::new(format!(
+                "expected path string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
