@@ -202,7 +202,14 @@ impl Linear {
         Ok(out)
     }
 
-    /// Allocation-free variant of [`Linear::forward_spikes`].
+    /// Allocation-free variant of [`Linear::forward_spikes`]. This is the
+    /// production **word-scan** kernel: per output row, the active inputs are
+    /// recovered by trailing-zeros iteration over the plane's `u64` mask
+    /// words — one word load covers 64 inputs, so the per-row index traffic
+    /// drops from `active` u32 loads to `in/64` u64 loads. The bit order
+    /// visits the identical ascending sequence as the retained index walk
+    /// ([`Linear::forward_spikes_indexed`]), keeping the accumulation
+    /// bitwise-equal.
     ///
     /// # Errors
     ///
@@ -212,6 +219,54 @@ impl Linear {
         plane: &SpikePlane,
         out: &mut Tensor,
     ) -> Result<(), SnnError> {
+        self.validate_event_input(plane)?;
+        let w = self.weight.as_slice();
+        let b = self.bias.as_slice();
+        let words = plane.as_words();
+        out.reset_to(&[self.out_features], 0.0);
+        for (o, out_val) in out.as_mut_slice().iter_mut().enumerate() {
+            let row = &w[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = b[o];
+            for (wi, &word) in words.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let i = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    acc += row[i];
+                }
+            }
+            *out_val = acc;
+        }
+        Ok(())
+    }
+
+    /// The retained index-list event forward: identical accumulation to
+    /// [`Linear::forward_spikes_into`], driven by the plane's ascending `u32`
+    /// active list instead of its mask words. The differential oracle the
+    /// `spike_words` harness holds the word-scan path against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Linear::forward_spikes`].
+    pub fn forward_spikes_indexed(&self, plane: &SpikePlane) -> Result<Tensor, SnnError> {
+        self.validate_event_input(plane)?;
+        let w = self.weight.as_slice();
+        let b = self.bias.as_slice();
+        let active = plane.active();
+        let mut out = Tensor::zeros(&[self.out_features]);
+        for (o, out_val) in out.as_mut_slice().iter_mut().enumerate() {
+            let row = &w[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = b[o];
+            for &i in active {
+                acc += row[i as usize];
+            }
+            *out_val = acc;
+        }
+        Ok(out)
+    }
+
+    /// Shared binary-plane validation of the event-path entry points.
+    fn validate_event_input(&self, plane: &SpikePlane) -> Result<(), SnnError> {
         if plane.len() != self.in_features {
             return Err(SnnError::shape(
                 &[self.in_features],
@@ -224,18 +279,6 @@ impl Linear {
                 "input",
                 "Linear::forward_spikes requires a binary spike plane",
             ));
-        }
-        let w = self.weight.as_slice();
-        let b = self.bias.as_slice();
-        let active = plane.active();
-        out.reset_to(&[self.out_features], 0.0);
-        for (o, out_val) in out.as_mut_slice().iter_mut().enumerate() {
-            let row = &w[o * self.in_features..(o + 1) * self.in_features];
-            let mut acc = b[o];
-            for &i in active {
-                acc += row[i as usize];
-            }
-            *out_val = acc;
         }
         Ok(())
     }

@@ -47,6 +47,7 @@ pub mod quant;
 pub mod spike;
 pub mod stats;
 pub mod tensor;
+pub mod test_support;
 
 pub use error::SnnError;
 pub use network::{RunOutput, RunState, SnnNetwork};

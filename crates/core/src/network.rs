@@ -585,9 +585,10 @@ impl SnnNetwork {
                         output_spikes[li][t] = spikes as u64;
                         output_neurons[li] = dst.len() as u64;
                         if let Some(vol) = &mut volumes[li] {
+                            // Word-scan the plane's mask words straight into
+                            // the per-channel SpikeTrain words.
                             let per_map = vol.neurons_per_map();
-                            for &flat in dst.active() {
-                                let flat = flat as usize;
+                            for flat in dst.iter_active() {
                                 vol.train_mut(t, flat / per_map).set(flat % per_map, true);
                             }
                         }

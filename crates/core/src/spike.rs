@@ -21,11 +21,24 @@ use serde::{Deserialize, Serialize};
 /// One sparse activation frame: the event-driven representation of a layer
 /// input at a single timestep.
 ///
-/// A `SpikePlane` pairs a dense tensor backing with the ascending list of
-/// flat indices of its non-zero elements — exactly the event list the
-/// paper's sparse cores consume. Producers (the encoders, the LIF
-/// populations, spike pooling) maintain the index list as they emit spikes,
-/// so consumers never rescan the dense tensor:
+/// A `SpikePlane` pairs a dense tensor backing with **two** sparse views of
+/// its non-zero set, maintained in lockstep by every producer (the encoders,
+/// the LIF populations, spike pooling):
+///
+/// * `u64` **mask words** ([`SpikePlane::as_words`]) — 64 cells per word,
+///   LSB-first within a word, exactly the compressed binary activation
+///   stream the paper's hardware moves between layers. This is what the
+///   production word-scan kernels iterate (trailing-zeros per word), and
+///   what `count_active()`/`density()` popcount.
+/// * the ascending **active-index list** ([`SpikePlane::active`]) — the
+///   original event-list representation, retained as the differential
+///   oracle the `*_indexed` kernel variants and the `spike_words` test
+///   harness drive.
+///
+/// Ascending-bit iteration of the words visits exactly the ascending index
+/// list ([`SpikePlane::iter_active`] ≡ `active()`), so both views impose the
+/// identical f32 accumulation order on consumers — which is what keeps the
+/// word path bitwise-equal to the index and dense paths:
 ///
 /// * the event-driven [`crate::layers::Conv2d::forward_spikes`] /
 ///   [`crate::layers::Linear::forward_spikes`] gather weight columns for the
@@ -35,7 +48,8 @@ use serde::{Deserialize, Serialize};
 ///
 /// `binary` records whether every element is exactly 0.0 or 1.0. Direct-coded
 /// input frames are analog (`binary == false`) and must take the dense path;
-/// every LIF output is binary by construction.
+/// every LIF output is binary by construction. The words mark *non-zero*
+/// elements, so they are maintained for analog planes too.
 ///
 /// # Example
 ///
@@ -47,12 +61,14 @@ use serde::{Deserialize, Serialize};
 /// let plane = SpikePlane::from_tensor(&t);
 /// assert!(plane.is_binary());
 /// assert_eq!(plane.active(), &[1, 3]);
+/// assert_eq!(plane.as_words(), &[0b1010]);
 /// assert_eq!(plane.density(), 0.5);
 /// ```
 #[derive(Debug, Default, PartialEq)]
 pub struct SpikePlane {
     dense: Tensor,
     active: Vec<u32>,
+    words: Vec<u64>,
     binary: bool,
 }
 
@@ -61,6 +77,7 @@ impl Clone for SpikePlane {
         SpikePlane {
             dense: self.dense.clone(),
             active: self.active.clone(),
+            words: self.words.clone(),
             binary: self.binary,
         }
     }
@@ -71,6 +88,7 @@ impl Clone for SpikePlane {
     fn clone_from(&mut self, source: &Self) {
         self.dense.copy_from(&source.dense);
         self.active.clone_from(&source.active);
+        self.words.clone_from(&source.words);
         self.binary = source.binary;
     }
 }
@@ -82,6 +100,7 @@ impl SpikePlane {
         SpikePlane {
             dense: Tensor::zeros(&[0]),
             active: Vec::new(),
+            words: Vec::new(),
             binary: true,
         }
     }
@@ -95,15 +114,18 @@ impl SpikePlane {
     }
 
     /// Rebuilds this plane from a dense tensor, reusing the existing
-    /// allocations. One scan recovers both the active-index list and whether
-    /// the values are all binary (0.0/1.0).
+    /// allocations. One scan recovers the active-index list, the mask words
+    /// and whether the values are all binary (0.0/1.0).
     pub fn assign(&mut self, tensor: &Tensor) {
         self.dense.copy_from(tensor);
         self.active.clear();
+        self.words.clear();
+        self.words.resize(tensor.len().div_ceil(64), 0);
         self.binary = true;
         for (i, &v) in tensor.as_slice().iter().enumerate() {
             if v != 0.0 {
                 self.active.push(i as u32);
+                self.words[i / 64] |= 1u64 << (i % 64);
                 if v != 1.0 {
                     self.binary = false;
                 }
@@ -115,9 +137,16 @@ impl SpikePlane {
     /// allocations. Producers then emit spikes via [`SpikePlane::push`] (in
     /// ascending index order) or [`SpikePlane::mark`] +
     /// [`SpikePlane::rebuild_active`].
+    ///
+    /// All mask words are zeroed — in particular the out-of-range bits of the
+    /// final partial word when `len % 64 != 0`, so a plane reused across
+    /// shapes can never leak stale bits `>= len` into the tail word (the same
+    /// guarantee [`SpikeTrain::as_words`] documents).
     pub fn begin(&mut self, shape: &[usize]) {
         self.dense.reset_to(shape, 0.0);
         self.active.clear();
+        self.words.clear();
+        self.words.resize(self.dense.len().div_ceil(64), 0);
         self.binary = true;
     }
 
@@ -134,28 +163,38 @@ impl SpikePlane {
             self.active.last().is_none_or(|&last| (last as usize) < idx),
             "spike indices must be pushed in ascending order"
         );
+        debug_assert!(idx < self.dense.len(), "push index {idx} out of range");
         self.dense.as_mut_slice()[idx] = 1.0;
         self.active.push(idx as u32);
+        self.words[idx / 64] |= 1u64 << (idx % 64);
     }
 
-    /// Marks a spike in the dense backing only (idempotent, any order);
-    /// callers must finish with [`SpikePlane::rebuild_active`]. Used by
-    /// OR-pooling, whose event scatter does not visit outputs in order.
+    /// Marks a spike in the dense backing and the mask words (idempotent, any
+    /// order); callers must finish with [`SpikePlane::rebuild_active`]. Used
+    /// by OR-pooling, whose event scatter does not visit outputs in order.
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range.
+    /// Panics if `idx` is out of range, so a bit `>= len` can never be set.
     pub fn mark(&mut self, idx: usize) {
+        debug_assert!(idx < self.dense.len(), "mark index {idx} out of range");
         self.dense.as_mut_slice()[idx] = 1.0;
+        self.words[idx / 64] |= 1u64 << (idx % 64);
     }
 
-    /// Rebuilds the active-index list from the dense backing after a series
-    /// of [`SpikePlane::mark`] calls.
+    /// Rebuilds the active-index list after a series of [`SpikePlane::mark`]
+    /// calls, by word-scanning the mask words (trailing-zeros per word)
+    /// instead of rescanning the dense f32 backing.
     pub fn rebuild_active(&mut self) {
         self.active.clear();
-        for (i, &v) in self.dense.as_slice().iter().enumerate() {
-            if v != 0.0 {
-                self.active.push(i as u32);
+        let len = self.dense.len();
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let idx = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                debug_assert!(idx < len, "mask bit {idx} set beyond plane length {len}");
+                self.active.push(idx as u32);
             }
         }
     }
@@ -165,9 +204,54 @@ impl SpikePlane {
         &self.dense
     }
 
-    /// Ascending flat indices of the non-zero elements.
+    /// Ascending flat indices of the non-zero elements — the retained
+    /// index-list representation, kept as the differential oracle for the
+    /// word-scan kernels.
     pub fn active(&self) -> &[u32] {
         &self.active
+    }
+
+    /// The `u64` mask words marking the non-zero elements: 64 cells per word,
+    /// LSB-first within a word (bit `i % 64` of word `i / 64` is element
+    /// `i`), matching [`SpikeTrain::as_words`]. Bits above `len()` in the
+    /// last word are guaranteed to be zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use snn_core::spike::SpikePlane;
+    /// use snn_core::tensor::Tensor;
+    ///
+    /// let t = Tensor::from_fn(&[1, 10, 10], |i| if i == 2 || i == 64 { 1.0 } else { 0.0 });
+    /// let plane = SpikePlane::from_tensor(&t);
+    /// assert_eq!(plane.as_words(), &[1 << 2, 1 << 0]);
+    /// ```
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Ascending word-scan iterator over the active flat indices, driven by
+    /// trailing-zeros over the mask words. Yields exactly the sequence of
+    /// [`SpikePlane::active`] — LSB-first bit order within each word is
+    /// ascending index order — so word-scan consumers accumulate f32 values
+    /// in the identical order as index-list consumers, keeping the two paths
+    /// bitwise-equal.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use snn_core::spike::SpikePlane;
+    /// use snn_core::tensor::Tensor;
+    ///
+    /// let t = Tensor::from_fn(&[1, 9, 9], |i| [3, 63, 64, 80].contains(&i) as usize as f32);
+    /// let plane = SpikePlane::from_tensor(&t);
+    /// let scanned: Vec<usize> = plane.iter_active().collect();
+    /// assert_eq!(scanned, vec![3, 63, 64, 80]);
+    /// let indexed: Vec<usize> = plane.active().iter().map(|&i| i as usize).collect();
+    /// assert_eq!(scanned, indexed);
+    /// ```
+    pub fn iter_active(&self) -> WordScan<'_> {
+        scan_words(&self.words)
     }
 
     /// Whether every element is exactly 0.0 or 1.0 (a true spike frame).
@@ -175,9 +259,9 @@ impl SpikePlane {
         self.binary
     }
 
-    /// Number of active (non-zero) elements.
+    /// Number of active (non-zero) elements — a popcount over the mask words.
     pub fn count_active(&self) -> usize {
-        self.active.len()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Shape of the dense backing.
@@ -195,12 +279,13 @@ impl SpikePlane {
         self.dense.is_empty()
     }
 
-    /// Fraction of elements that are active; 0.0 for an empty plane.
+    /// Fraction of elements that are active (popcount over the mask words);
+    /// 0.0 for an empty plane.
     pub fn density(&self) -> f64 {
         if self.dense.is_empty() {
             0.0
         } else {
-            self.active.len() as f64 / self.dense.len() as f64
+            self.count_active() as f64 / self.dense.len() as f64
         }
     }
 
@@ -241,8 +326,7 @@ impl SpikePlane {
         out.cols = cols;
         out.out_h = out_h;
         out.out_w = out_w;
-        for &flat in &self.active {
-            let flat = flat as usize;
+        for flat in self.iter_active() {
             let ci = flat / (h * w);
             let rem = flat % (h * w);
             let iy = rem / w;
@@ -274,6 +358,84 @@ impl SpikePlane {
             }
         }
         Ok(())
+    }
+}
+
+/// Ascending iterator over the set-bit indices of a `u64` mask-word slice,
+/// created by [`scan_words`]. See [`SpikePlane::iter_active`] for the
+/// bitwise-equality contract word-scan consumers rely on.
+#[derive(Debug, Clone)]
+pub struct WordScan<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for WordScan<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * 64 + bit)
+    }
+
+    // Internal iteration the hot kernels reach through `for_each`: the
+    // per-event closure is applied inside the word loop, with no per-item
+    // Option or resumable-state traffic. Yields the exact sequence `next`
+    // does.
+    #[inline]
+    fn fold<B, F>(self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, usize) -> B,
+    {
+        let mut acc = init;
+        let mut bits = self.current;
+        let mut wi = self.word_idx;
+        loop {
+            while bits != 0 {
+                let idx = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                acc = f(acc, idx);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return acc;
+            }
+            bits = self.words[wi];
+        }
+    }
+}
+
+/// Word-scans a raw `u64` mask slice (LSB-first within each word), yielding
+/// set-bit indices in ascending order via trailing-zeros iteration. The
+/// shared primitive behind [`SpikePlane::iter_active`] and the training
+/// backward's gradient-column mask — any caller packing a mask into words
+/// gets the identical iteration order, and therefore the identical f32
+/// accumulation order, as an ascending index list.
+///
+/// # Example
+///
+/// ```
+/// use snn_core::spike::scan_words;
+///
+/// let words = [0b1001_u64, 1 << 63];
+/// assert_eq!(scan_words(&words).collect::<Vec<_>>(), vec![0, 3, 127]);
+/// assert_eq!(scan_words(&[]).count(), 0);
+/// ```
+pub fn scan_words(words: &[u64]) -> WordScan<'_> {
+    WordScan {
+        words,
+        word_idx: 0,
+        current: words.first().copied().unwrap_or(0),
     }
 }
 
@@ -902,6 +1064,86 @@ mod tests {
         plane.rebuild_active();
         assert_eq!(plane.active(), &[2, 6]);
         assert!(plane.is_binary());
+    }
+
+    #[test]
+    fn plane_words_mirror_active_on_every_path() {
+        use crate::tensor::Tensor;
+        // assign() path (incl. analog values — words mark non-zeros).
+        let t = Tensor::from_vec(vec![0.5, 0.0, 1.0, 0.0, -0.0, 1.0], &[6]).unwrap();
+        let plane = SpikePlane::from_tensor(&t);
+        assert_eq!(plane.as_words(), &[0b100101]);
+        assert_eq!(plane.iter_active().collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert_eq!(plane.count_active(), 3);
+
+        // push() path.
+        let mut plane = SpikePlane::new();
+        plane.begin(&[2, 8, 8]);
+        for idx in [0, 63, 64, 65, 127] {
+            plane.push(idx);
+        }
+        assert_eq!(plane.as_words(), &[(1 << 63) | 1, 0b11 | (1 << 63)]);
+        let scanned: Vec<usize> = plane.iter_active().collect();
+        let indexed: Vec<usize> = plane.active().iter().map(|&i| i as usize).collect();
+        assert_eq!(scanned, indexed);
+
+        // mark() + rebuild_active() path.
+        let mut plane = SpikePlane::new();
+        plane.begin(&[130]);
+        plane.mark(129);
+        plane.mark(64);
+        plane.mark(63);
+        plane.rebuild_active();
+        assert_eq!(plane.active(), &[63, 64, 129]);
+        assert_eq!(plane.count_active(), 3);
+
+        // clone / clone_from preserve the words.
+        let cloned = plane.clone();
+        assert_eq!(cloned.as_words(), plane.as_words());
+        let mut target = SpikePlane::new();
+        target.clone_from(&plane);
+        assert_eq!(target, plane);
+    }
+
+    /// Satellite guarantee: `begin` zeroes the final partial word, so a plane
+    /// reused from a larger shape can never carry stale bits `>= len` in a
+    /// ragged tail word.
+    #[test]
+    fn plane_begin_clears_tail_word_bits_on_reuse() {
+        let mut plane = SpikePlane::new();
+        // Fill both words of a 2-word plane, including the very last bit.
+        plane.begin(&[128]);
+        plane.push(63);
+        plane.push(64);
+        plane.push(127);
+        // Shrink to a ragged length using the same word count: every stale
+        // bit — in particular 127, which would now be >= len — must be gone.
+        plane.begin(&[65]);
+        assert_eq!(plane.as_words(), &[0, 0]);
+        assert_eq!(plane.count_active(), 0);
+        plane.push(64);
+        assert_eq!(plane.as_words(), &[0, 1]);
+        plane.rebuild_active();
+        assert_eq!(plane.active(), &[64]);
+        // Exact word-multiple length: no tail word at all.
+        plane.begin(&[64]);
+        assert_eq!(plane.as_words(), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn plane_mark_out_of_range_panics() {
+        let mut plane = SpikePlane::new();
+        plane.begin(&[70]);
+        plane.mark(70); // one past the ragged tail
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn plane_push_out_of_range_panics() {
+        let mut plane = SpikePlane::new();
+        plane.begin(&[64]);
+        plane.push(64); // would set bit 0 of a word that must not exist
     }
 
     #[test]

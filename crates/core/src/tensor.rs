@@ -834,10 +834,21 @@ pub fn matmul_to_with(
     }
 }
 
+/// Width of the explicit micro-kernel accumulator tile: eight named f32
+/// lanes, held in locals so the autovectorizer keeps them resident in two
+/// 128-bit (or one 256-bit) registers across the quad's four multiply-adds.
+const MM_LANES: usize = 8;
+
 /// Accumulates `mr` output rows against one packed `kb × nb` panel of `b`.
 /// Quads of four panel rows are walked in ascending order with the same
 /// per-row all-four-zero skip as the reference kernel; each loaded quad is
 /// applied to every row of the tile before the next quad is touched.
+///
+/// Output columns are processed [`MM_LANES`] at a time through explicit
+/// register accumulators. Lanes are *independent output elements* — each
+/// element's scalar chain is still `(((out + a0·b0) + a1·b1) + a2·b2) + a3·b3`
+/// in ascending `p` order, exactly the reference kernel's order — so the
+/// unrolling changes no result bit, only how many accumulators are in flight.
 #[allow(clippy::too_many_arguments)]
 fn micro_kernel(
     a: &[f32],
@@ -852,6 +863,7 @@ fn micro_kernel(
     n: usize,
     jc: usize,
 ) {
+    let lanes_end = nb - nb % MM_LANES;
     let mut p = 0;
     while p + 4 <= kb {
         let b0 = &panel[p * nb..(p + 1) * nb];
@@ -866,13 +878,36 @@ fn micro_kernel(
             }
             let base = (i0 + r) * n + jc;
             let out_row = &mut out[base..base + nb];
-            for o in 0..nb {
-                let mut t = out_row[o];
+            let (out_lanes, out_tail) = out_row.split_at_mut(lanes_end);
+            for (c, out8) in out_lanes.chunks_exact_mut(MM_LANES).enumerate() {
+                let o0 = c * MM_LANES;
+                let b0c = &b0[o0..o0 + MM_LANES];
+                let b1c = &b1[o0..o0 + MM_LANES];
+                let b2c = &b2[o0..o0 + MM_LANES];
+                let b3c = &b3[o0..o0 + MM_LANES];
+                let mut t = [0.0_f32; MM_LANES];
+                t.copy_from_slice(out8);
+                for l in 0..MM_LANES {
+                    t[l] += a0 * b0c[l];
+                }
+                for l in 0..MM_LANES {
+                    t[l] += a1 * b1c[l];
+                }
+                for l in 0..MM_LANES {
+                    t[l] += a2 * b2c[l];
+                }
+                for l in 0..MM_LANES {
+                    t[l] += a3 * b3c[l];
+                }
+                out8.copy_from_slice(&t);
+            }
+            for (o, slot) in (lanes_end..nb).zip(out_tail.iter_mut()) {
+                let mut t = *slot;
                 t += a0 * b0[o];
                 t += a1 * b1[o];
                 t += a2 * b2[o];
                 t += a3 * b3[o];
-                out_row[o] = t;
+                *slot = t;
             }
         }
         p += 4;
@@ -885,11 +920,52 @@ fn micro_kernel(
                 continue;
             }
             let base = (i0 + r) * n + jc;
-            for (t, &b_po) in out[base..base + nb].iter_mut().zip(b_row.iter()) {
-                *t += a_rp * b_po;
+            let out_row = &mut out[base..base + nb];
+            let (out_lanes, out_tail) = out_row.split_at_mut(lanes_end);
+            for (c, out8) in out_lanes.chunks_exact_mut(MM_LANES).enumerate() {
+                let o0 = c * MM_LANES;
+                let b_c = &b_row[o0..o0 + MM_LANES];
+                let mut t = [0.0_f32; MM_LANES];
+                t.copy_from_slice(out8);
+                for l in 0..MM_LANES {
+                    t[l] += a_rp * b_c[l];
+                }
+                out8.copy_from_slice(&t);
+            }
+            for (slot, &b_po) in out_tail.iter_mut().zip(b_row[lanes_end..].iter()) {
+                *slot += a_rp * b_po;
             }
         }
         p += 1;
+    }
+}
+
+/// Element-wise `dst[i] += src[i]` through the same 8-lane (`MM_LANES`)
+/// explicit register accumulators as the micro-kernel — the "column-gather
+/// add" of the event-driven paths: a spike contributes a whole weight row
+/// unscaled, so the conv forward's per-tap gather and the backward's per-tap
+/// weight-gradient accumulation are exactly this loop. Lanes are independent
+/// elements, so the unrolling is bitwise-neutral.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add_assign_lanes(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_assign_lanes length mismatch");
+    let lanes_end = dst.len() - dst.len() % MM_LANES;
+    let (dst_lanes, dst_tail) = dst.split_at_mut(lanes_end);
+    for (c, d8) in dst_lanes.chunks_exact_mut(MM_LANES).enumerate() {
+        let o0 = c * MM_LANES;
+        let s8 = &src[o0..o0 + MM_LANES];
+        let mut t = [0.0_f32; MM_LANES];
+        t.copy_from_slice(d8);
+        for l in 0..MM_LANES {
+            t[l] += s8[l];
+        }
+        d8.copy_from_slice(&t);
+    }
+    for (d, &s) in dst_tail.iter_mut().zip(src[lanes_end..].iter()) {
+        *d += s;
     }
 }
 

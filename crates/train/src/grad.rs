@@ -23,10 +23,10 @@
 
 use snn_core::error::SnnError;
 use snn_core::layers::{Conv2d, Linear, SpikeMaxPool2d};
-use snn_core::spike::SpikePlane;
+use snn_core::spike::{scan_words, SpikePlane};
 use snn_core::tensor::{
-    matmul, matmul_a_bt, matmul_a_bt_to_with, matmul_at_b, matmul_at_b_to, matmul_scatter_col2im,
-    matmul_to_with, Im2Col, Tensor,
+    add_assign_lanes, matmul, matmul_a_bt, matmul_a_bt_to_with, matmul_at_b, matmul_at_b_to,
+    matmul_scatter_col2im, matmul_to_with, Im2Col, Tensor,
 };
 
 /// Gradients of a convolution layer.
@@ -70,7 +70,7 @@ pub struct GradScratch {
     taps: Vec<(u32, u32)>,
     got: Vec<f32>,
     accw: Vec<f32>,
-    col_mask: Vec<bool>,
+    col_mask: Vec<u64>,
     col_active: Vec<u32>,
     col_pos: Vec<(u32, u32)>,
     go_panel: Vec<f32>,
@@ -374,9 +374,7 @@ pub fn conv2d_backward_into(
         for &(p, s) in scratch.taps.iter() {
             let wrow = &mut accw[p as usize * out_c..(p as usize + 1) * out_c];
             let grow = &scratch.got[s as usize * out_c..(s as usize + 1) * out_c];
-            for (a, &g) in wrow.iter_mut().zip(grow.iter()) {
-                *a += g;
-            }
+            add_assign_lanes(wrow, grow);
         }
         let w_out = grads.weight.as_mut_slice();
         for (p, wrow) in scratch.accw.chunks_exact(out_c).enumerate() {
@@ -523,22 +521,25 @@ pub fn conv2d_input_grad_into(
     let go = grad_output.as_slice();
     // One pass over the gradient frame marks every output cell that carries
     // gradient in at least one channel; the fused kernel only computes and
-    // scatters those columns.
+    // scatters those columns. The mark bits are packed into the same
+    // LSB-first `u64` mask-word layout [`SpikePlane`] uses, built
+    // branch-free 64 cells at a time and extracted with the shared
+    // [`scan_words`] trailing-zeros walk.
     let mask = &mut scratch.col_mask;
     mask.clear();
-    mask.resize(spatial, false);
+    mask.resize(spatial.div_ceil(64), 0);
     for row in go.chunks_exact(spatial) {
-        for (m, &v) in mask.iter_mut().zip(row.iter()) {
-            *m |= v != 0.0;
+        for (m, chunk) in mask.iter_mut().zip(row.chunks(64)) {
+            let mut bits = 0_u64;
+            for (b, &v) in chunk.iter().enumerate() {
+                bits |= u64::from(v != 0.0) << b;
+            }
+            *m |= bits;
         }
     }
     let active = &mut scratch.col_active;
     active.clear();
-    active.extend(
-        mask.iter()
-            .enumerate()
-            .filter_map(|(s, &m)| m.then_some(s as u32)),
-    );
+    active.extend(scan_words(&scratch.col_mask).map(|s| s as u32));
     // Shape the output buffer only when it changes (between layers); the
     // kernel overwrites every cell, so re-zeroing it per timestep here would
     // just double the memset.
@@ -599,9 +600,10 @@ fn conv_bias_and_input_grads(
 
 /// Scratch-backed, event-aware variant of [`linear_backward`]: writes into
 /// the caller-owned `grads` buffer without allocating. For a binary spike
-/// input the weight gradient is a gather — each active input column receives
-/// the output gradient directly instead of the dense rank-1 matmul touching
-/// all `out × in` cells — which is bitwise identical to the matmul
+/// input the weight gradient is a gather — each input column found by
+/// word-scanning the plane's mask words receives the output gradient directly
+/// instead of the dense rank-1 matmul touching all `out × in` cells — which
+/// is bitwise identical to the matmul
 /// formulation on finite gradients (the kernel's zero-skip and
 /// accumulate-from-zero semantics are reproduced exactly). The input gradient
 /// is written with the shape of the layer input (the reference's reshape
@@ -644,10 +646,10 @@ pub fn linear_backward_into(
                 continue; // the matmul kernel's zero-row skip
             }
             let row = &mut w[o * n_in..(o + 1) * n_in];
-            for &i in input.active() {
+            for i in input.iter_active() {
                 // `0.0 + g` (not plain `g`): the matmul accumulates each cell
                 // from a 0.0 start, which turns a -0.0 gradient into +0.0.
-                row[i as usize] = 0.0 + g;
+                row[i] = 0.0 + g;
             }
         }
     } else {
@@ -680,8 +682,8 @@ pub fn linear_backward_into(
 
 /// Scratch-backed, event-aware variant of [`pool_backward`]: writes the input
 /// gradient into the caller-owned `out` tensor. For a binary spike input the
-/// per-window argmax comes from the plane's ascending active-index list — the
-/// first spike falling in a window in ascending flat order is exactly the
+/// per-window argmax comes from word-scanning the plane's `u64` mask words —
+/// the first spike falling in a window in ascending flat order is exactly the
 /// first spiking position the dense window scan finds — via a per-window
 /// first-spike table kept in `scratch`, so silent regions are never scanned.
 /// Analog planes fall back to the dense window scan. Bitwise identical to
@@ -718,8 +720,7 @@ pub fn pool_backward_into(
         let first = &mut scratch.pool_first;
         first.clear();
         first.resize(c * oh * ow, u32::MAX);
-        for &flat in input.active() {
-            let f = flat as usize;
+        for f in input.iter_active() {
             let ci = f / (h * w);
             let rem = f % (h * w);
             let (oy, ox) = (rem / w / size, rem % w / size);
@@ -728,7 +729,7 @@ pub fn pool_backward_into(
             if oy < oh && ox < ow {
                 let slot = &mut first[ci * oh * ow + oy * ow + ox];
                 if *slot == u32::MAX {
-                    *slot = flat;
+                    *slot = f as u32;
                 }
             }
         }

@@ -1,0 +1,137 @@
+//! Proves the word-scan kernels' allocation contract with a counting global
+//! allocator, on both sides of the network:
+//!
+//! * **Forward** — a warm conv → LIF → pool → linear timestep loop (the
+//!   exact kernel sequence `SnnNetwork::run_with_state` drives, including
+//!   the encoder re-encoding each image) performs **zero** heap allocations
+//!   per timestep: the mask words live inside the reused [`SpikePlane`]s and
+//!   the word scans iterate them in place.
+//! * **Backward** — one warm `backward_sweep` (whose event-tap gather,
+//!   column-mask build and pool argmax all word-scan the stored planes)
+//!   allocates an amount independent of the timestep count, for both coding
+//!   schemes — the same contract `alloc_free_backward` proves, re-checked
+//!   here because the word-scan rewrite replaced the kernels under it.
+//!
+//! This lives in its own integration-test binary because the global
+//! allocator is process-wide.
+
+use snn_core::encoding::Encoder;
+use snn_core::layers::{Conv2d, Linear, SpikeMaxPool2d};
+use snn_core::network::{vgg9, Vgg9Config};
+use snn_core::neuron::{LifParams, LifPopulation};
+use snn_core::spike::SpikePlane;
+use snn_core::tensor::Tensor;
+use snn_train::bptt::{Bptt, BpttScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation served to the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warm_word_scan_forward_timestep_loop_allocates_nothing() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(9);
+    // A conv → LIF → pool → linear → LIF stack over a ragged 9×9 map:
+    // 2·9·9 = 162 cells (a partial tail word) through the conv, 2·4·4
+    // through the pool, 32 into the classifier head.
+    let conv = Conv2d::with_kaiming_init(2, 2, 3, 1, 1, &mut rng).unwrap();
+    let pool = SpikeMaxPool2d::new(2).unwrap();
+    let fc = Linear::with_kaiming_init(32, 4, &mut rng).unwrap();
+    let image = Tensor::from_fn(&[2, 9, 9], |i| ((i as f32) * 0.031).sin().abs());
+
+    let mut frames: Vec<SpikePlane> = Vec::new();
+    let mut scratch = snn_core::layers::ConvScratch::new();
+    let mut current = Tensor::default();
+    let mut conv_spikes = SpikePlane::new();
+    let mut pooled = SpikePlane::new();
+    let mut fc_current = Tensor::default();
+    let mut out_spikes = SpikePlane::new();
+    let mut lif_conv = LifPopulation::new(2 * 9 * 9, LifParams::paper_default());
+    let mut lif_out = LifPopulation::new(4, LifParams::paper_default());
+
+    for (scheme, encoder) in [("direct", Encoder::direct(4)), ("rate", Encoder::rate(4))] {
+        let mut sweep = |frames: &mut Vec<SpikePlane>| {
+            encoder.encode_planes_into(&image, 5, frames).unwrap();
+            lif_conv.reset();
+            lif_out.reset();
+            for frame in frames.iter() {
+                conv.forward_plane_into(frame, &mut scratch, &mut current)
+                    .unwrap();
+                lif_conv.step_plane(&current, &mut conv_spikes).unwrap();
+                pool.forward_plane(&conv_spikes, &mut pooled).unwrap();
+                fc.forward_plane_into(&pooled, &mut fc_current).unwrap();
+                lif_out.step_plane(&fc_current, &mut out_spikes).unwrap();
+            }
+        };
+        // Warm every buffer (planes, scratch, encoder frames), then demand
+        // strict zero for the whole re-encoded, re-run timestep loop.
+        sweep(&mut frames);
+        let allocs = count_allocs(|| sweep(&mut frames));
+        assert_eq!(
+            allocs, 0,
+            "{scheme}: warm word-scan forward loop allocated {allocs} times"
+        );
+    }
+}
+
+#[test]
+fn warm_word_scan_backward_allocations_are_timestep_independent() {
+    let net = vgg9(&Vgg9Config::cifar10_small()).unwrap();
+    let bptt = Bptt::default();
+    let effective = bptt.prepare(&net).unwrap();
+    let image = Tensor::from_fn(&[3, 16, 16], |i| ((i as f32) * 0.029).cos().abs());
+    let mut scratch = BpttScratch::new();
+
+    for scheme in ["direct", "rate"] {
+        let mut counts = Vec::new();
+        for timesteps in [2_usize, 4, 6] {
+            let encoder = if scheme == "direct" {
+                Encoder::direct(timesteps)
+            } else {
+                Encoder::rate(timesteps)
+            };
+            let sweep = bptt
+                .forward_sweep(&net, &effective, &image, &encoder, 1)
+                .unwrap();
+            bptt.backward_sweep(&net, &effective, &sweep, 2, &mut scratch)
+                .unwrap();
+            counts.push(count_allocs(|| {
+                bptt.backward_sweep(&net, &effective, &sweep, 2, &mut scratch)
+                    .unwrap();
+            }));
+        }
+        assert!(
+            counts[0] == counts[1] && counts[1] == counts[2],
+            "{scheme}: word-scan backward allocations scale with T: {counts:?}"
+        );
+    }
+}
